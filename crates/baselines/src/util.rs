@@ -1,0 +1,144 @@
+//! Shared helpers for kernel lowering: B-traffic accounting, L2 hit-rate
+//! estimation, and dimension checks.
+
+use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
+use dtc_sim::Device;
+
+/// Number of distinct columns touched by the sparse matrix — the set of B
+/// rows an SpMM actually reads.
+pub fn distinct_col_count(a: &CsrMatrix) -> usize {
+    let mut touched = vec![false; a.cols()];
+    for &c in a.col_idx() {
+        touched[c as usize] = true;
+    }
+    touched.iter().filter(|&&t| t).count()
+}
+
+/// Analytic L2 hit-rate estimate for B traffic, used when the cache is not
+/// simulated.
+///
+/// `1 - unique/total` of the accesses are re-reads; the fraction of those
+/// that actually hit decays with the ratio of the unique working set to the
+/// L2 capacity (square-root law — reuse distances are not uniform).
+pub fn estimate_b_hit_rate(
+    distinct_cols: usize,
+    total_b_sectors: f64,
+    n: usize,
+    device: &Device,
+) -> f64 {
+    if total_b_sectors <= 0.0 || distinct_cols == 0 {
+        return 0.0;
+    }
+    let unique_sectors = distinct_cols as f64 * sectors_per_b_row(n);
+    let base = (1.0 - unique_sectors / total_b_sectors).max(0.0);
+    let unique_bytes = unique_sectors * device.sector_bytes as f64;
+    let capacity = (device.l2_bytes as f64 / unique_bytes).min(1.0).sqrt();
+    base * capacity
+}
+
+/// Sectors per row of an `N`-column row-major f32 B matrix.
+pub fn sectors_per_b_row(n: usize) -> f64 {
+    (n as f64 * 4.0 / 32.0).max(1.0)
+}
+
+/// Appends the sector addresses of B row `col` (for an `N`-column B) to a
+/// recording buffer.
+pub fn push_b_row_sectors(out: &mut Vec<u64>, col: usize, n: usize) {
+    let per_row = sectors_per_b_row(n) as u64;
+    let base = col as u64 * per_row;
+    for k in 0..per_row {
+        out.push(base + k);
+    }
+}
+
+/// Appends the sector addresses of one *N-tile* of B row `col`: sectors
+/// `[tile_first, tile_first + tile_sectors)` of the row.
+pub fn push_b_tile_sectors(
+    out: &mut Vec<u64>,
+    col: usize,
+    n: usize,
+    tile_first: u64,
+    tile_sectors: u64,
+) {
+    let per_row = sectors_per_b_row(n) as u64;
+    let base = col as u64 * per_row + tile_first;
+    for k in 0..tile_sectors.min(per_row - tile_first.min(per_row)) {
+        out.push(base + k);
+    }
+}
+
+/// The column-tile width CUDA-core kernels use to split the N dimension
+/// (cuSPARSE/Sputnik launch a 2-D grid: row strips × N tiles).
+pub const N_TILE: usize = 32;
+
+/// Splits `n` into `(num_tiles, last_tile_width)` chunks of [`N_TILE`].
+pub fn n_tiles(n: usize) -> usize {
+    n.div_ceil(N_TILE).max(1)
+}
+
+/// Checks the `A.cols == B.rows` contract shared by every kernel.
+///
+/// # Errors
+///
+/// Returns [`FormatError::DimensionMismatch`] on disagreement.
+pub fn check_spmm_dims(a_rows: usize, a_cols: usize, b: &DenseMatrix) -> Result<(), FormatError> {
+    if a_cols != b.rows() {
+        return Err(FormatError::DimensionMismatch {
+            op: "spmm",
+            lhs: (a_rows, a_cols),
+            rhs: (b.rows(), b.cols()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_cols_counts_unique() {
+        let a = CsrMatrix::from_triplets(4, 10, &[(0, 3, 1.0), (1, 3, 1.0), (2, 7, 1.0)]).unwrap();
+        assert_eq!(distinct_col_count(&a), 2);
+    }
+
+    #[test]
+    fn hit_rate_zero_for_no_reuse() {
+        let d = Device::rtx4090();
+        // total == unique: every access is a compulsory miss.
+        assert_eq!(estimate_b_hit_rate(100, 100.0 * sectors_per_b_row(128), 128, &d), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_grows_with_reuse() {
+        let d = Device::rtx4090();
+        let lo = estimate_b_hit_rate(100, 2.0 * 100.0 * sectors_per_b_row(128), 128, &d);
+        let hi = estimate_b_hit_rate(100, 50.0 * 100.0 * sectors_per_b_row(128), 128, &d);
+        assert!(hi > lo && hi < 1.0);
+    }
+
+    #[test]
+    fn hit_rate_shrinks_when_working_set_exceeds_l2() {
+        let mut d = Device::rtx4090();
+        let big = estimate_b_hit_rate(1000, 1e6, 128, &d);
+        d.l2_bytes /= 1024;
+        let small = estimate_b_hit_rate(1000, 1e6, 128, &d);
+        assert!(small < big);
+    }
+
+    #[test]
+    fn sector_math() {
+        assert_eq!(sectors_per_b_row(128), 16.0);
+        assert_eq!(sectors_per_b_row(8), 1.0);
+        let mut v = Vec::new();
+        push_b_row_sectors(&mut v, 3, 128);
+        assert_eq!(v, (48..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn dim_check() {
+        let b = DenseMatrix::zeros(8, 4);
+        assert!(check_spmm_dims(4, 8, &b).is_ok());
+        assert!(check_spmm_dims(4, 9, &b).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion benches for the GNN case-study path: one training step
+//! (3 SpMMs + 5 GEMMs + activations) per backend, and the epoch time
+//! accounting itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtc_formats::{gen, DenseMatrix};
+use dtc_gnn::{DglGnnBackend, DtcGnnBackend, Gcn, GnnBackend};
+use dtc_sim::Device;
+use std::hint::black_box;
+
+fn bench_training_step(c: &mut Criterion) {
+    let graph = gen::community_with_shuffle(1024, 1024, 32, 8.0, 0.85, 0.2, 41);
+    let x = DenseMatrix::from_fn(1024, 32, |r, q| ((r + q) % 7) as f32 * 0.2);
+    let labels: Vec<usize> = (0..1024).map(|r| r % 8).collect();
+    let gcn = Gcn::new(32, 32, 8, 1);
+    let mut group = c.benchmark_group("gcn_step_1024");
+    group.sample_size(10);
+    let dtc = DtcGnnBackend::new(&graph);
+    group.bench_function("dtc_backend", |b| {
+        b.iter(|| black_box(gcn.loss_and_grads(&dtc, &x, &labels).expect("ok")))
+    });
+    let dgl = DglGnnBackend::new(&graph);
+    group.bench_function("dgl_backend", |b| {
+        b.iter(|| black_box(gcn.loss_and_grads(&dgl, &x, &labels).expect("ok")))
+    });
+    group.finish();
+}
+
+fn bench_epoch_accounting(c: &mut Criterion) {
+    let graph = gen::community_with_shuffle(2048, 2048, 64, 10.0, 0.85, 0.2, 42);
+    let device = Device::rtx4090();
+    let dtc = DtcGnnBackend::new(&graph);
+    c.bench_function("epoch_spmm_accounting", |b| {
+        b.iter(|| {
+            black_box(
+                dtc.spmm_ms(false, 64, &device)
+                    + dtc.spmm_ms(false, 128, &device)
+                    + dtc.spmm_ms(true, 128, &device),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_training_step, bench_epoch_accounting);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benches for Matrix Market I/O throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dtc_formats::{gen, mtx};
+use std::hint::black_box;
+
+fn bench_mtx_io(c: &mut Criterion) {
+    let a = gen::web(8192, 8192, 10.0, 2.1, 0.7, 51);
+    let mut text = Vec::new();
+    mtx::write_mtx(&mut text, &a).expect("write ok");
+    let mut group = c.benchmark_group("mtx_io");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(mtx::read_mtx(text.as_slice()).expect("valid")))
+    });
+    group.bench_function("write", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(text.len());
+            mtx::write_mtx(&mut out, &a).expect("write ok");
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mtx_io);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for the offline reordering stage: MinHash signature
+//! computation, LSH candidate generation, and the full TCA pipeline
+//! against its baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtc_formats::gen;
+use dtc_reorder::{
+    lsh_candidate_pairs, LouvainReorderer, LshParams, MetisLikeReorderer, MinHasher, Reorderer,
+    TcaReorderer,
+};
+use std::hint::black_box;
+
+fn bench_minhash(c: &mut Criterion) {
+    let a = gen::community(4096, 4096, 128, 12.0, 0.9, 21);
+    let hasher = MinHasher::new(32, 7);
+    c.bench_function("minhash_4096_rows", |b| {
+        b.iter(|| {
+            let sigs: Vec<Vec<u64>> =
+                (0..a.rows()).map(|r| hasher.signature(a.row_entries(r).0)).collect();
+            black_box(sigs)
+        })
+    });
+}
+
+fn bench_lsh(c: &mut Criterion) {
+    let a = gen::community(4096, 4096, 128, 12.0, 0.9, 22);
+    let hasher = MinHasher::new(32, 8);
+    let sigs: Vec<Vec<u64>> =
+        (0..a.rows()).map(|r| hasher.signature(a.row_entries(r).0)).collect();
+    c.bench_function("lsh_pairs_4096", |b| {
+        b.iter(|| black_box(lsh_candidate_pairs(&hasher, &sigs, &LshParams::default())))
+    });
+}
+
+fn bench_reorderers(c: &mut Criterion) {
+    let a = gen::community(4096, 4096, 128, 12.0, 0.9, 23);
+    let mut group = c.benchmark_group("reorder_4096");
+    group.sample_size(10);
+    group.bench_function("tca", |b| b.iter(|| black_box(TcaReorderer::default().reorder(&a))));
+    group.bench_function("metis_like", |b| {
+        b.iter(|| black_box(MetisLikeReorderer::default().reorder(&a)))
+    });
+    group.bench_function("louvain_like", |b| {
+        b.iter(|| black_box(LouvainReorderer::default().reorder(&a)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_minhash, bench_lsh, bench_reorderers);
+criterion_main!(benches);

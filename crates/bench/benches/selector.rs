@@ -1,0 +1,28 @@
+//! Criterion bench for the Selector (§6 reports it at 24.8–42.0 % of one
+//! SpMM): makespan simulation under the eq. (1) scheduling model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtc_core::Selector;
+use dtc_formats::{gen, MeTcfMatrix};
+use dtc_sim::Device;
+use std::hint::black_box;
+
+fn bench_selector(c: &mut Criterion) {
+    let device = Device::rtx4090();
+    let selector = Selector::default();
+    let mut group = c.benchmark_group("selector");
+    for (label, a) in [
+        ("type1_16k_windows", gen::community(16_384, 16_384, 512, 8.0, 0.85, 31)),
+        ("type2_long_rows", gen::long_row(2048, 2048, 400.0, 1.2, 32)),
+    ] {
+        let metcf = MeTcfMatrix::from_csr(&a);
+        let counts = metcf.window_block_counts();
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(selector.decide_from_counts(&counts, &device)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selector);
+criterion_main!(benches);

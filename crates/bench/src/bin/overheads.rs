@@ -1,0 +1,66 @@
+//! §6 Overhead and Limitation: format-conversion, reordering and Selector
+//! overheads on YeastH and protein, expressed as multiples of one SpMM
+//! execution (N=128) — the paper's reporting convention.
+
+use dtc_baselines::SpmmKernel;
+use dtc_bench::print_table;
+use dtc_core::{convert, DtcKernel, Selector};
+use dtc_datasets::{representative, scaled_device};
+use dtc_formats::MeTcfMatrix;
+use dtc_reorder::{Reorderer, TcaReorderer};
+use dtc_sim::Device;
+use std::time::Instant;
+
+fn main() {
+    let device = scaled_device(Device::rtx4090());
+    let n = 128;
+    let mut rows = Vec::new();
+    for abbr in ["YH", "protein"] {
+        let d = representative().into_iter().find(|d| d.abbr == abbr).expect("dataset");
+        let a = d.matrix();
+        let spmm_ms = DtcKernel::new(&a).simulate(n, &device).time_ms;
+
+        // 1. Format conversion (GPU-kernel model + measured CPU parallel time).
+        let report = convert::convert_with_report(&a, 4, &device);
+        let conv_ratio = report.simulated_gpu_ms / spmm_ms;
+
+        // 2. Reordering (optional, offline) — measured CPU wall time.
+        let t0 = Instant::now();
+        let _perm = TcaReorderer::default().reorder(&a);
+        let reorder_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // 3. Selector — measured CPU wall time of the makespan simulation.
+        let metcf = MeTcfMatrix::from_csr(&a);
+        let t1 = Instant::now();
+        let decision = Selector::default().decide(&metcf, &device);
+        let selector_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let _ = decision;
+
+        rows.push(vec![
+            d.abbr.clone(),
+            format!("{spmm_ms:.4}"),
+            format!("{:.4} ({conv_ratio:.2}x SpMM)", report.simulated_gpu_ms),
+            format!("{:.1} (CPU, 4 threads)", report.cpu_time.as_secs_f64() * 1e3),
+            format!("{reorder_ms:.1} (CPU)"),
+            format!("{selector_ms:.3} (CPU)"),
+        ]);
+    }
+    print_table(
+        "§6 Overheads (ms; ratios relative to one N=128 SpMM)",
+        &[
+            "Dataset",
+            "one SpMM",
+            "conversion (GPU model)",
+            "conversion (CPU measured)",
+            "TCA reordering",
+            "Selector",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper: conversion costs 1.48x (YeastH) and 14.50x (protein) of one\n\
+         SpMM; the Selector costs 42.0% and 24.8% of one SpMM; reordering is\n\
+         an optional offline step. All three amortize over iterative SpMM\n\
+         workloads (GNN training runs thousands of SpMMs on a fixed matrix)."
+    );
+}

@@ -1,0 +1,36 @@
+//! Table 1: the 8 representative matrices — paper statistics beside our
+//! scaled synthetic stand-ins.
+
+use dtc_bench::print_table;
+use dtc_datasets::{representative, DatasetKind};
+
+fn main() {
+    let mut rows = Vec::new();
+    for d in representative() {
+        let s = d.stats();
+        let paper = d.paper.expect("table-1 datasets carry paper stats");
+        rows.push(vec![
+            match d.kind {
+                DatasetKind::TypeI => "I".to_owned(),
+                DatasetKind::TypeII => "II".to_owned(),
+                DatasetKind::GnnGraph => "-".to_owned(),
+            },
+            d.name.clone(),
+            d.abbr.clone(),
+            format!("{}", paper.rows),
+            format!("{}", paper.nnz),
+            format!("{:.2}", paper.avg_row_len),
+            format!("{}", s.rows),
+            format!("{}", s.nnz),
+            format!("{:.2}", s.avg_row_len),
+        ]);
+    }
+    print_table(
+        "Table 1: representative matrices (paper vs. scaled stand-in)",
+        &[
+            "Type", "Name", "Abbr", "M&K (paper)", "NNZ (paper)", "AvgRowL (paper)",
+            "M&K (ours)", "NNZ (ours)", "AvgRowL (ours)",
+        ],
+        &rows,
+    );
+}

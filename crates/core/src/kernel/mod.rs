@@ -1,0 +1,59 @@
+//! The DTC-SpMM runtime kernels (§4.4, §4.5.1).
+
+mod balanced;
+mod base;
+mod opts;
+
+pub use balanced::BalancedDtcKernel;
+pub use base::DtcKernel;
+pub use opts::KernelOpts;
+
+use dtc_formats::{DenseMatrix, MeTcfMatrix, Precision, BLOCK_WIDTH, WINDOW_HEIGHT};
+
+/// Shared exact-execution body: walks ME-TCF blocks performing
+/// precision-rounded multiply, FP32 accumulate — the numeric contract of
+/// `mma.sync.aligned.m16n8k4.f32.<p>.<p>.f32`.
+pub(crate) fn execute_metcf(
+    metcf: &MeTcfMatrix,
+    b: &DenseMatrix,
+    precision: Precision,
+) -> DenseMatrix {
+    let n = b.cols();
+    let mut c = DenseMatrix::zeros(metcf.rows(), n);
+    for w in 0..metcf.num_windows() {
+        let base_row = w * WINDOW_HEIGHT;
+        for t in metcf.window_blocks(w) {
+            let cols = metcf.block_cols(t);
+            let (ids, vals) = metcf.block_entries(t);
+            for (&id, &v) in ids.iter().zip(vals) {
+                let local_row = (id as usize) / BLOCK_WIDTH;
+                let local_col = (id as usize) % BLOCK_WIDTH;
+                let row = base_row + local_row;
+                let col = cols[local_col] as usize;
+                let a_v = precision.round(v);
+                let out = c.row_mut(row);
+                for (o, &bv) in out.iter_mut().zip(b.row(col)) {
+                    *o += a_v * precision.round(bv);
+                }
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtc_formats::gen::power_law;
+    use dtc_formats::tf32::TF32_UNIT_ROUNDOFF;
+
+    #[test]
+    fn execute_metcf_matches_reference() {
+        let a = power_law(100, 100, 6.0, 2.2, 51);
+        let metcf = MeTcfMatrix::from_csr(&a);
+        let b = DenseMatrix::from_fn(100, 16, |r, c| ((r + c) % 8) as f32 * 0.5);
+        let got = execute_metcf(&metcf, &b, Precision::Tf32);
+        let want = a.spmm_reference(&b).unwrap();
+        assert!(got.max_abs_diff(&want) < 50.0 * TF32_UNIT_ROUNDOFF);
+    }
+}

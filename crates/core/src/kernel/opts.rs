@@ -1,0 +1,87 @@
+use serde::{Deserialize, Serialize};
+
+/// The four runtime-kernel optimizations of §4.4, individually toggleable
+/// for the Fig 14 ablation.
+///
+/// # Example
+///
+/// ```
+/// use dtc_core::KernelOpts;
+///
+/// let ladder = KernelOpts::ablation_ladder();
+/// assert_eq!(ladder.first().unwrap().0, "Base");
+/// assert_eq!(ladder.last().unwrap().1, KernelOpts::all());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelOpts {
+    /// Shared-Memory Bypassing (§4.4.1): B tiles go straight from global
+    /// memory to registers via PTX `mma`, skipping the `STS` /
+    /// `wmma::load_matrix_sync` staging of the WMMA path.
+    pub smb: bool,
+    /// Index-Precomputing (§4.4.3): coordinate arithmetic is hoisted out of
+    /// the `FetchSparse` / `VFetchDense` loops.
+    pub ip: bool,
+    /// Sparse Double Buffering (§4.4.2): the next sparse A tile is
+    /// prefetched with `cp.async` into a second shared-memory buffer,
+    /// overlapping Tensor-Core compute.
+    pub sdb: bool,
+    /// Vectorized Fetch Dense (§4.4.1): `LDG.128` (float4) loads of B with
+    /// register remapping of the accumulator write-back.
+    pub vfd: bool,
+}
+
+impl KernelOpts {
+    /// All optimizations off — the "Base" bar of Fig 14 (ME-TCF format
+    /// only).
+    pub fn none() -> Self {
+        KernelOpts { smb: false, ip: false, sdb: false, vfd: false }
+    }
+
+    /// All optimizations on — the shipping DTC-SpMM configuration.
+    pub fn all() -> Self {
+        KernelOpts { smb: true, ip: true, sdb: true, vfd: true }
+    }
+
+    /// The cumulative ablation ladder of Fig 14:
+    /// `Base → +SMB → +IP → +SDB → +VFD`, with display labels.
+    pub fn ablation_ladder() -> Vec<(&'static str, KernelOpts)> {
+        vec![
+            ("Base", KernelOpts::none()),
+            ("+SMB", KernelOpts { smb: true, ..KernelOpts::none() }),
+            ("+IP", KernelOpts { smb: true, ip: true, ..KernelOpts::none() }),
+            ("+SDB", KernelOpts { smb: true, ip: true, sdb: true, vfd: false }),
+            ("+VFD", KernelOpts::all()),
+        ]
+    }
+}
+
+impl Default for KernelOpts {
+    fn default() -> Self {
+        KernelOpts::all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone() {
+        let ladder = KernelOpts::ablation_ladder();
+        assert_eq!(ladder.len(), 5);
+        assert_eq!(ladder[0].1, KernelOpts::none());
+        assert_eq!(ladder[4].1, KernelOpts::all());
+        // Each rung only adds flags.
+        let as_bits = |o: &KernelOpts| {
+            o.smb as u8 + o.ip as u8 + o.sdb as u8 + o.vfd as u8
+        };
+        for w in ladder.windows(2) {
+            assert_eq!(as_bits(&w[1].1), as_bits(&w[0].1) + 1);
+        }
+    }
+
+    #[test]
+    fn default_is_all() {
+        assert_eq!(KernelOpts::default(), KernelOpts::all());
+    }
+}

@@ -1,0 +1,58 @@
+//! DTC-SpMM: the paper's primary contribution.
+//!
+//! This crate assembles the full system of §4:
+//!
+//! - [`kernel::DtcKernel`] — the runtime kernel of Alg. 2 over the ME-TCF
+//!   format, with the four §4.4 optimizations individually toggleable
+//!   through [`kernel::KernelOpts`]: shared-memory bypassing (SMB),
+//!   index-precomputing (IP), sparse double buffering (SDB) and vectorized
+//!   dense fetch (VFD);
+//! - [`kernel::BalancedDtcKernel`] — the strict-balance variant (§4.5.1):
+//!   fixed-size groups of TC blocks per thread block, with atomic
+//!   accumulation across split row windows;
+//! - [`Selector`] — the simulation-based kernel selector (§4.5.2): computes
+//!   the makespan under the thread-block scheduling policy model, derives
+//!   the approximation ratio (AR), and picks the balanced kernel when
+//!   `AR > 1.2`;
+//! - [`convert`] — parallel CSR → ME-TCF conversion with overhead
+//!   accounting (§6);
+//! - [`DtcSpmm`] — the end-to-end pipeline a downstream user adopts:
+//!   optional TCU-Cache-Aware reordering → format conversion → selection →
+//!   execution.
+//!
+//! # Example
+//!
+//! ```
+//! use dtc_core::{DtcSpmm, SpmmKernel};
+//! use dtc_formats::{gen::power_law, DenseMatrix};
+//! use dtc_sim::Device;
+//!
+//! # fn main() -> Result<(), dtc_formats::FormatError> {
+//! let a = power_law(256, 256, 8.0, 2.2, 3);
+//! let engine = DtcSpmm::builder().reorder(true).build(&a);
+//! let b = DenseMatrix::ones(256, 64);
+//! let c = engine.execute(&b)?;
+//! assert_eq!(c.rows(), 256);
+//! let report = engine.simulate(64, &Device::rtx4090());
+//! assert!(report.time_ms > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod kernel;
+pub mod mma;
+mod pipeline;
+mod selector;
+mod session;
+
+pub use kernel::{BalancedDtcKernel, DtcKernel, KernelOpts};
+pub use pipeline::{DtcSpmm, DtcSpmmBuilder};
+pub use selector::{KernelChoice, Selector, SelectorDecision};
+pub use session::{AmortizationReport, EngineRecommendation, IterativeSpmm};
+
+// Re-exported so downstream users need only this crate for the common path.
+pub use dtc_baselines::SpmmKernel;
+pub use dtc_formats::Precision;

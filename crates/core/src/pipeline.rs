@@ -1,0 +1,280 @@
+//! The end-to-end DTC-SpMM pipeline (Fig 4): offline TCU-Cache-Aware
+//! reordering → ME-TCF conversion → simulation-based selection → runtime
+//! kernel.
+
+use crate::kernel::{BalancedDtcKernel, DtcKernel, KernelOpts};
+use crate::selector::{KernelChoice, Selector, SelectorDecision};
+use dtc_baselines::util::distinct_col_count;
+use dtc_baselines::SpmmKernel;
+use dtc_formats::{CsrMatrix, DenseMatrix, FormatError, MeTcfMatrix, Precision};
+use dtc_reorder::{Reorderer, TcaReorderer};
+use dtc_sim::{Device, KernelTrace};
+
+/// Builder for a [`DtcSpmm`] engine.
+pub struct DtcSpmmBuilder {
+    reorder: bool,
+    reorderer: Box<dyn Reorderer>,
+    opts: KernelOpts,
+    precision: Precision,
+    selector: Selector,
+    device: Device,
+    force: Option<KernelChoice>,
+}
+
+impl std::fmt::Debug for DtcSpmmBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DtcSpmmBuilder")
+            .field("reorder", &self.reorder)
+            .field("reorderer", &self.reorderer.name())
+            .field("opts", &self.opts)
+            .field("precision", &self.precision)
+            .field("selector", &self.selector)
+            .field("device", &self.device.name)
+            .field("force", &self.force)
+            .finish()
+    }
+}
+
+impl Default for DtcSpmmBuilder {
+    fn default() -> Self {
+        DtcSpmmBuilder {
+            reorder: false,
+            reorderer: Box::new(TcaReorderer::default()),
+            opts: KernelOpts::all(),
+            precision: Precision::Tf32,
+            selector: Selector::default(),
+            device: Device::rtx4090(),
+            force: None,
+        }
+    }
+}
+
+impl DtcSpmmBuilder {
+    /// Enables the (optional, offline) TCU-Cache-Aware reordering step.
+    pub fn reorder(mut self, enabled: bool) -> Self {
+        self.reorder = enabled;
+        self
+    }
+
+    /// Replaces the reordering algorithm (implies `reorder(true)`).
+    pub fn reorderer(mut self, r: Box<dyn Reorderer>) -> Self {
+        self.reorderer = r;
+        self.reorder = true;
+        self
+    }
+
+    /// Sets the runtime-kernel optimization flags.
+    pub fn opts(mut self, opts: KernelOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the Tensor-Core input precision (default TF32; §7 extension).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Sets the Selector configuration.
+    pub fn selector(mut self, selector: Selector) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    /// Sets the target device for the Selector's makespan model.
+    pub fn device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Bypasses the Selector with a fixed kernel choice.
+    pub fn force_kernel(mut self, choice: KernelChoice) -> Self {
+        self.force = Some(choice);
+        self
+    }
+
+    /// Runs the offline pipeline for a matrix and returns the engine.
+    pub fn build(self, a: &CsrMatrix) -> DtcSpmm {
+        let (perm, working) = if self.reorder {
+            let perm = self.reorderer.reorder(a);
+            let m = a.permute_rows(&perm);
+            (Some(perm), m)
+        } else {
+            (None, a.clone())
+        };
+        let metcf = MeTcfMatrix::from_csr(&working);
+        let distinct = distinct_col_count(&working);
+        let decision = self.selector.decide(&metcf, &self.device);
+        let choice = self.force.unwrap_or(decision.choice);
+        let kernel: DtcAnyKernel = match choice {
+            KernelChoice::Base => DtcAnyKernel::Base(
+                DtcKernel::from_metcf(metcf, distinct, self.opts).with_precision(self.precision),
+            ),
+            KernelChoice::Balanced => DtcAnyKernel::Balanced(
+                BalancedDtcKernel::from_metcf(metcf, distinct, self.opts)
+                    .with_precision(self.precision),
+            ),
+        };
+        DtcSpmm { perm, kernel, decision, choice }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum DtcAnyKernel {
+    Base(DtcKernel),
+    Balanced(BalancedDtcKernel),
+}
+
+impl DtcAnyKernel {
+    fn as_kernel(&self) -> &dyn SpmmKernel {
+        match self {
+            DtcAnyKernel::Base(k) => k,
+            DtcAnyKernel::Balanced(k) => k,
+        }
+    }
+}
+
+/// The assembled DTC-SpMM engine: holds the (possibly reordered) ME-TCF
+/// matrix, the Selector decision, and the chosen runtime kernel.
+///
+/// `execute` returns the output in the *original* row order — reordering is
+/// internal, exactly like the real library.
+#[derive(Debug)]
+pub struct DtcSpmm {
+    perm: Option<Vec<usize>>,
+    kernel: DtcAnyKernel,
+    decision: SelectorDecision,
+    choice: KernelChoice,
+}
+
+impl DtcSpmm {
+    /// Starts building an engine.
+    pub fn builder() -> DtcSpmmBuilder {
+        DtcSpmmBuilder::default()
+    }
+
+    /// Convenience: default pipeline (no reordering, Selector on,
+    /// all kernel optimizations).
+    pub fn new(a: &CsrMatrix) -> Self {
+        Self::builder().build(a)
+    }
+
+    /// The Selector's decision record.
+    pub fn decision(&self) -> &SelectorDecision {
+        &self.decision
+    }
+
+    /// The kernel the Selector (or `force_kernel`) chose.
+    pub fn choice(&self) -> KernelChoice {
+        self.choice
+    }
+
+    /// The row permutation applied by reordering, if any.
+    pub fn permutation(&self) -> Option<&[usize]> {
+        self.perm.as_deref()
+    }
+
+    /// The ME-TCF representation in use.
+    pub fn metcf(&self) -> &MeTcfMatrix {
+        match &self.kernel {
+            DtcAnyKernel::Base(k) => k.metcf(),
+            DtcAnyKernel::Balanced(k) => k.metcf(),
+        }
+    }
+}
+
+impl SpmmKernel for DtcSpmm {
+    fn name(&self) -> &str {
+        match self.choice {
+            KernelChoice::Base => "DTC-SpMM",
+            KernelChoice::Balanced => "DTC-SpMM-balanced",
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.kernel.as_kernel().rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.kernel.as_kernel().cols()
+    }
+
+    fn nnz(&self) -> usize {
+        self.kernel.as_kernel().nnz()
+    }
+
+    fn execute(&self, b: &DenseMatrix) -> Result<DenseMatrix, FormatError> {
+        let c = self.kernel.as_kernel().execute(b)?;
+        // Undo the row permutation so callers see original row order.
+        Ok(match &self.perm {
+            None => c,
+            Some(perm) => {
+                let mut out = DenseMatrix::zeros(c.rows(), c.cols());
+                for (new_row, &orig_row) in perm.iter().enumerate() {
+                    out.row_mut(orig_row).copy_from_slice(c.row(new_row));
+                }
+                out
+            }
+        })
+    }
+
+    fn trace(&self, n: usize, device: &Device, record_b_addrs: bool) -> KernelTrace {
+        self.kernel.as_kernel().trace(n, device, record_b_addrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtc_formats::gen::{community, long_row, uniform};
+    use dtc_formats::tf32::TF32_UNIT_ROUNDOFF;
+
+    #[test]
+    fn pipeline_output_in_original_row_order() {
+        let a = community(200, 200, 10, 8.0, 0.9, 101);
+        let b = DenseMatrix::from_fn(200, 8, |r, c| ((r * 3 + c) % 7) as f32 * 0.5);
+        let reference = a.spmm_reference(&b).unwrap();
+        let engine = DtcSpmm::builder().reorder(true).build(&a);
+        assert!(engine.permutation().is_some());
+        let c = engine.execute(&b).unwrap();
+        assert!(c.max_abs_diff(&reference) < 40.0 * TF32_UNIT_ROUNDOFF);
+    }
+
+    #[test]
+    fn selector_picks_balanced_for_skew() {
+        let a = long_row(640, 4096, 200.0, 2.0, 102);
+        let engine = DtcSpmm::new(&a);
+        assert_eq!(engine.choice(), KernelChoice::Balanced);
+        assert!(engine.decision().approximation_ratio > 1.2);
+    }
+
+    #[test]
+    fn force_kernel_overrides_selector() {
+        let a = uniform(256, 256, 1024, 103);
+        let engine = DtcSpmm::builder().force_kernel(KernelChoice::Balanced).build(&a);
+        assert_eq!(engine.choice(), KernelChoice::Balanced);
+        assert_eq!(engine.name(), "DTC-SpMM-balanced");
+    }
+
+    #[test]
+    fn reordering_does_not_change_numerics() {
+        let a = community(320, 320, 16, 10.0, 0.9, 104);
+        let b = DenseMatrix::from_fn(320, 4, |r, _| (r % 11) as f32 * 0.1);
+        let plain = DtcSpmm::builder().reorder(false).build(&a).execute(&b).unwrap();
+        let reordered = DtcSpmm::builder().reorder(true).build(&a).execute(&b).unwrap();
+        assert!(plain.max_abs_diff(&reordered) < 1e-4);
+    }
+
+    #[test]
+    fn reordering_reduces_tc_blocks_on_community_matrices() {
+        let a = community(640, 640, 32, 12.0, 0.92, 105);
+        let plain = DtcSpmm::builder().reorder(false).build(&a);
+        let reordered = DtcSpmm::builder().reorder(true).build(&a);
+        assert!(
+            reordered.metcf().num_tc_blocks() < plain.metcf().num_tc_blocks(),
+            "reordered={} plain={}",
+            reordered.metcf().num_tc_blocks(),
+            plain.metcf().num_tc_blocks()
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! The simulation-based Selector (§4.5.2).
+//!
+//! Load imbalance is input-adaptive (Observation 4): the strict-balance
+//! kernel fixes skewed inputs but costs ~22 % on naturally balanced ones.
+//! The Selector estimates both makespans *without running the kernel*: it
+//! replays the per-window TC-block counts through the thread-block
+//! scheduling policy model of eq. (1) with the kernel's occupancy (6), and
+//! compares against the ideal balanced makespan
+//! `NumTCBlocks / (num_sms × occupancy)`. When the approximation ratio
+//! exceeds the threshold (1.2, calibrated offline on 1000 uniform
+//! matrices), the balanced kernel is selected.
+
+use dtc_formats::MeTcfMatrix;
+use dtc_sim::{schedule, Device};
+use serde::{Deserialize, Serialize};
+
+/// Which runtime kernel to launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelChoice {
+    /// `DTC-SpMM-base`: one thread block per row window.
+    Base,
+    /// `DTC-SpMM-balanced`: strict-balance TC-block groups.
+    Balanced,
+}
+
+/// The Selector's full decision record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectorDecision {
+    /// Estimated makespan (in TC-block units) without strict balance.
+    pub makespan_base: f64,
+    /// Ideal makespan with strict balance: `NumTCBlocks / (SMs × occupancy)`.
+    pub makespan_balanced: f64,
+    /// Approximation ratio `makespan_base / makespan_balanced`.
+    pub approximation_ratio: f64,
+    /// The chosen kernel.
+    pub choice: KernelChoice,
+}
+
+/// The simulation-based Selector.
+///
+/// # Example
+///
+/// ```
+/// use dtc_core::{KernelChoice, Selector};
+/// use dtc_sim::Device;
+///
+/// let selector = Selector::default();
+/// // One monster window among trivial ones: huge AR, balanced kernel.
+/// let mut counts = vec![1usize; 767];
+/// counts.push(50_000);
+/// let decision = selector.decide_from_counts(&counts, &Device::rtx4090());
+/// assert_eq!(decision.choice, KernelChoice::Balanced);
+/// assert!(decision.approximation_ratio > 1.2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Selector {
+    /// AR threshold above which the balanced kernel is picked (paper: 1.2).
+    pub threshold: f64,
+    /// Thread blocks resident per SM (paper: 6 on RTX4090).
+    pub occupancy: usize,
+}
+
+impl Default for Selector {
+    fn default() -> Self {
+        Selector { threshold: 1.2, occupancy: 6 }
+    }
+}
+
+impl Selector {
+    /// Estimates the base kernel's makespan, in TC-block service units, by
+    /// scheduling one thread block per row window (duration = its TC-block
+    /// count) under the eq. (1) policy model.
+    pub fn makespan_base(&self, window_block_counts: &[usize], device: &Device) -> f64 {
+        let durations: Vec<f64> = window_block_counts.iter().map(|&b| b as f64).collect();
+        schedule(device, self.occupancy, &durations).makespan_cycles
+    }
+
+    /// The ideal strict-balance makespan: total blocks spread over every
+    /// slot of every SM.
+    pub fn makespan_balanced(&self, total_blocks: usize, device: &Device) -> f64 {
+        total_blocks as f64 / (device.num_sms as f64 * self.occupancy as f64)
+    }
+
+    /// Computes the full decision for a condensed matrix.
+    pub fn decide(&self, metcf: &MeTcfMatrix, device: &Device) -> SelectorDecision {
+        self.decide_from_counts(&metcf.window_block_counts(), device)
+    }
+
+    /// Computes the decision from raw per-window block counts.
+    pub fn decide_from_counts(&self, counts: &[usize], device: &Device) -> SelectorDecision {
+        let total: usize = counts.iter().sum();
+        let makespan_base = self.makespan_base(counts, device);
+        let makespan_balanced = self.makespan_balanced(total, device).max(1e-12);
+        let ar = if total == 0 { 1.0 } else { makespan_base / makespan_balanced };
+        SelectorDecision {
+            makespan_base,
+            makespan_balanced,
+            approximation_ratio: ar,
+            choice: if ar > self.threshold { KernelChoice::Balanced } else { KernelChoice::Base },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtc_formats::gen::{long_row, uniform};
+
+    #[test]
+    fn uniform_matrices_choose_base() {
+        // §4.5.2: uniformly distributed non-zeros are naturally balanced.
+        let a = uniform(128 * 6 * 16 * 2, 4096, 128 * 6 * 16 * 2 * 8, 81);
+        let metcf = MeTcfMatrix::from_csr(&a);
+        let d = Selector::default().decide(&metcf, &Device::rtx4090());
+        assert_eq!(d.choice, KernelChoice::Base, "AR={}", d.approximation_ratio);
+    }
+
+    #[test]
+    fn skewed_matrices_choose_balanced() {
+        let a = long_row(640, 4096, 200.0, 2.0, 82);
+        let metcf = MeTcfMatrix::from_csr(&a);
+        let d = Selector::default().decide(&metcf, &Device::rtx4090());
+        assert!(d.approximation_ratio > 1.2, "AR={}", d.approximation_ratio);
+        assert_eq!(d.choice, KernelChoice::Balanced);
+    }
+
+    #[test]
+    fn ar_is_at_least_one_for_large_inputs() {
+        // The balanced makespan is a lower bound whenever every SM slot
+        // can be kept busy.
+        let counts: Vec<usize> = (0..5000).map(|i| 1 + (i * 7) % 23).collect();
+        let s = Selector::default();
+        let d = s.decide_from_counts(&counts, &Device::rtx4090());
+        assert!(d.approximation_ratio >= 0.99, "AR={}", d.approximation_ratio);
+    }
+
+    #[test]
+    fn empty_matrix_defaults_to_base() {
+        let d = Selector::default().decide_from_counts(&[], &Device::rtx4090());
+        assert_eq!(d.choice, KernelChoice::Base);
+    }
+
+    #[test]
+    fn single_giant_window_maximal_ar() {
+        // One window with all the blocks: base makespan = all blocks on one
+        // SM slot, balanced spreads them out; AR ~ SMs * occupancy.
+        let mut counts = vec![1usize; 767];
+        counts.push(100_000);
+        let d = Selector::default().decide_from_counts(&counts, &Device::rtx4090());
+        assert!(d.approximation_ratio > 100.0, "AR={}", d.approximation_ratio);
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let counts = vec![10usize; 768 * 4];
+        let strict = Selector { threshold: 0.0, ..Selector::default() };
+        let lax = Selector { threshold: 1e9, ..Selector::default() };
+        let device = Device::rtx4090();
+        assert_eq!(strict.decide_from_counts(&counts, &device).choice, KernelChoice::Balanced);
+        assert_eq!(lax.decide_from_counts(&counts, &device).choice, KernelChoice::Base);
+    }
+}

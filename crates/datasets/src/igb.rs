@@ -1,0 +1,56 @@
+//! IGB (Illinois Graph Benchmark) stand-ins for the Fig 16 GNN case study.
+//!
+//! IGB-tiny has 100 k nodes / ~500 k edges and IGB-small 1 M nodes / ~12 M
+//! edges (homogeneous citation-style graphs). The stand-ins keep the
+//! citation-graph character (community structure, moderate degree) at
+//! reduced scale.
+
+use crate::{Dataset, DatasetKind, MatrixSpec};
+
+/// Builds the IGB-tiny and IGB-small stand-ins.
+pub fn igb_datasets() -> Vec<Dataset> {
+    vec![
+        Dataset {
+            name: "IGB-tiny".into(),
+            abbr: "IGB-tiny".into(),
+            kind: DatasetKind::GnnGraph,
+            paper: None,
+            spec: MatrixSpec::Community {
+                rows: 4_096,
+                cols: 4_096,
+                communities: 128,
+                avg_deg: 5.0,
+                p_in: 0.8,
+                seed: 0xC001,
+            },
+        },
+        Dataset {
+            name: "IGB-small".into(),
+            abbr: "IGB-small".into(),
+            kind: DatasetKind::GnnGraph,
+            paper: None,
+            spec: MatrixSpec::Community {
+                rows: 12_288,
+                cols: 12_288,
+                communities: 384,
+                avg_deg: 12.0,
+                p_in: 0.8,
+                seed: 0xC002,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_smaller_than_small() {
+        let ds = igb_datasets();
+        let t = ds[0].stats();
+        let s = ds[1].stats();
+        assert!(t.rows < s.rows);
+        assert!(t.nnz < s.nnz);
+    }
+}

@@ -1,0 +1,164 @@
+//! The eight representative matrices of Table 1, as scaled stand-ins.
+//!
+//! | Abbr | Paper M(&K) | Paper NNZ | AvgRowL | Ours M | Ours AvgRowL target |
+//! |---|---|---|---|---|---|
+//! | YH | 3,138,114 | 6,487,230 | 2.07 | 49,152 | 2.07 |
+//! | OH | 1,889,542 | 3,946,402 | 2.09 | 30,720 | 2.09 |
+//! | Yt | 1,710,902 | 3,636,546 | 2.13 | 27,648 | 2.13 |
+//! | DD | 334,925 | 1,686,092 | 5.03 | 16,384 | 5.03 |
+//! | WB | 685,230 | 7,600,595 | 11.09 | 16,384 | 11.09 |
+//! | reddit | 232,965 | 114,848,857 | 492.99 | 2,048 | 493 |
+//! | ddi | 4,267 | 2,140,089 | 501.54 | 1,536 | 501 |
+//! | protein | 132,534 | 79,255,038 | 598.00 | 2,048 | 598 |
+//!
+//! Type I entries (YH…WB) are molecule/protein-interaction graphs with
+//! community structure and short rows — modeled as planted-partition
+//! graphs (YH/OH/Yt/DD) and a scale-free web graph (WB). Type II entries
+//! are dense interaction graphs with long, skewed rows — modeled with the
+//! log-normal long-row generator.
+
+use crate::{Dataset, DatasetKind, MatrixSpec, PaperStats};
+
+/// Builds the eight Table-1 stand-ins.
+pub fn representative() -> Vec<Dataset> {
+    vec![
+        Dataset {
+            name: "YeastH".into(),
+            abbr: "YH".into(),
+            kind: DatasetKind::TypeI,
+            paper: Some(PaperStats { rows: 3_138_114, nnz: 6_487_230, avg_row_len: 2.07 }),
+            spec: MatrixSpec::CommunityPartial {
+                rows: 49_152,
+                cols: 49_152,
+                communities: 768,
+                avg_deg: 2.07,
+                p_in: 0.85,
+                shuffle_frac: 0.3,
+                seed: 0xA001,
+            },
+        },
+        Dataset {
+            name: "OVCAR-8H".into(),
+            abbr: "OH".into(),
+            kind: DatasetKind::TypeI,
+            paper: Some(PaperStats { rows: 1_889_542, nnz: 3_946_402, avg_row_len: 2.09 }),
+            spec: MatrixSpec::CommunityPartial {
+                rows: 30_720,
+                cols: 30_720,
+                communities: 480,
+                avg_deg: 2.09,
+                p_in: 0.85,
+                shuffle_frac: 0.3,
+                seed: 0xA002,
+            },
+        },
+        Dataset {
+            name: "Yeast".into(),
+            abbr: "Yt".into(),
+            kind: DatasetKind::TypeI,
+            paper: Some(PaperStats { rows: 1_710_902, nnz: 3_636_546, avg_row_len: 2.13 }),
+            spec: MatrixSpec::CommunityPartial {
+                rows: 27_648,
+                cols: 27_648,
+                communities: 432,
+                avg_deg: 2.13,
+                p_in: 0.85,
+                shuffle_frac: 0.3,
+                seed: 0xA003,
+            },
+        },
+        Dataset {
+            name: "DD".into(),
+            abbr: "DD".into(),
+            kind: DatasetKind::TypeI,
+            paper: Some(PaperStats { rows: 334_925, nnz: 1_686_092, avg_row_len: 5.03 }),
+            spec: MatrixSpec::CommunityPartial {
+                rows: 16_384,
+                cols: 16_384,
+                communities: 512,
+                avg_deg: 5.03,
+                p_in: 0.8,
+                shuffle_frac: 0.3,
+                seed: 0xA004,
+            },
+        },
+        Dataset {
+            name: "web-BerkStan".into(),
+            abbr: "WB".into(),
+            kind: DatasetKind::TypeI,
+            paper: Some(PaperStats { rows: 685_230, nnz: 7_600_595, avg_row_len: 11.09 }),
+            spec: MatrixSpec::Web {
+                rows: 16_384,
+                cols: 16_384,
+                avg_deg: 11.09,
+                alpha: 2.1,
+                locality: 0.75,
+                seed: 0xA005,
+            },
+        },
+        Dataset {
+            name: "reddit".into(),
+            abbr: "reddit".into(),
+            kind: DatasetKind::TypeII,
+            paper: Some(PaperStats { rows: 232_965, nnz: 114_848_857, avg_row_len: 492.99 }),
+            spec: MatrixSpec::LongRow {
+                rows: 2_048,
+                cols: 2_048,
+                avg_deg: 493.0,
+                cv: 1.6,
+                seed: 0xA006,
+            },
+        },
+        Dataset {
+            name: "ddi".into(),
+            abbr: "ddi".into(),
+            kind: DatasetKind::TypeII,
+            paper: Some(PaperStats { rows: 4_267, nnz: 2_140_089, avg_row_len: 501.54 }),
+            spec: MatrixSpec::LongRow {
+                rows: 1_536,
+                cols: 1_536,
+                avg_deg: 501.0,
+                cv: 1.0,
+                seed: 0xA007,
+            },
+        },
+        Dataset {
+            name: "protein".into(),
+            abbr: "protein".into(),
+            kind: DatasetKind::TypeII,
+            paper: Some(PaperStats { rows: 132_534, nnz: 79_255_038, avg_row_len: 598.0 }),
+            spec: MatrixSpec::LongRow {
+                rows: 2_048,
+                cols: 2_048,
+                avg_deg: 598.0,
+                cv: 0.7,
+                seed: 0xA008,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_split_matches_paper() {
+        let ds = representative();
+        for d in &ds[..5] {
+            assert_eq!(d.kind, DatasetKind::TypeI, "{}", d.name);
+        }
+        for d in &ds[5..] {
+            assert_eq!(d.kind, DatasetKind::TypeII, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn ddi_stats_close_to_paper() {
+        let ds = representative();
+        let ddi = ds.iter().find(|d| d.abbr == "ddi").unwrap();
+        let s = ddi.stats();
+        assert!((s.avg_row_len - 501.0).abs() < 120.0, "{}", s.avg_row_len);
+        assert!(s.sparsity < 0.7); // ddi is unusually dense (paper: 501/4267 ≈ 12%)
+    }
+}

@@ -1,0 +1,198 @@
+use dtc_formats::gen;
+use dtc_formats::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A serializable generator specification for a synthetic stand-in matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MatrixSpec {
+    /// Uniform scatter (`gen::uniform`).
+    Uniform {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+        /// Target non-zero count.
+        nnz: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Scale-free graph (`gen::power_law`).
+    PowerLaw {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+        /// Average row length.
+        avg_deg: f64,
+        /// Power-law exponent.
+        alpha: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// R-MAT graph (`gen::rmat`).
+    Rmat {
+        /// log2 of the node count.
+        scale: u32,
+        /// Edges per node.
+        edge_factor: f64,
+        /// Recursion probabilities.
+        probs: (f64, f64, f64, f64),
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Planted-partition community graph with shuffled rows
+    /// (`gen::community`).
+    Community {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+        /// Planted communities.
+        communities: usize,
+        /// Average row length.
+        avg_deg: f64,
+        /// Intra-community column probability.
+        p_in: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Type-II dense-row graph (`gen::long_row`).
+    LongRow {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+        /// Average row length.
+        avg_deg: f64,
+        /// Row-length coefficient of variation.
+        cv: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Banded / mesh matrix (`gen::banded`).
+    Banded {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+        /// Half-bandwidth.
+        bandwidth: usize,
+        /// Average row length.
+        avg_deg: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Partially shuffled community graph (`gen::community_with_shuffle`)
+    /// — the Table-1 Type-I stand-ins, which keep most of their native
+    /// locality.
+    CommunityPartial {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+        /// Planted communities.
+        communities: usize,
+        /// Average row length.
+        avg_deg: f64,
+        /// Intra-community column probability.
+        p_in: f64,
+        /// Fraction of rows displaced from community order.
+        shuffle_frac: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Web-crawl graph with window-local neighbourhoods (`gen::web`).
+    Web {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+        /// Average row length.
+        avg_deg: f64,
+        /// Power-law exponent.
+        alpha: f64,
+        /// Probability a link stays in the window's neighbourhood.
+        locality: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Pruned DL weight matrix (`gen::dl_pruned`).
+    DlPruned {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+        /// Sparsity in `[0, 1)`.
+        sparsity: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl MatrixSpec {
+    /// Generates the matrix.
+    pub fn build(&self) -> CsrMatrix {
+        match *self {
+            MatrixSpec::Uniform { rows, cols, nnz, seed } => gen::uniform(rows, cols, nnz, seed),
+            MatrixSpec::PowerLaw { rows, cols, avg_deg, alpha, seed } => {
+                gen::power_law(rows, cols, avg_deg, alpha, seed)
+            }
+            MatrixSpec::Rmat { scale, edge_factor, probs, seed } => {
+                gen::rmat(scale, edge_factor, probs, seed)
+            }
+            MatrixSpec::Community { rows, cols, communities, avg_deg, p_in, seed } => {
+                gen::community(rows, cols, communities, avg_deg, p_in, seed)
+            }
+            MatrixSpec::LongRow { rows, cols, avg_deg, cv, seed } => {
+                gen::long_row(rows, cols, avg_deg, cv, seed)
+            }
+            MatrixSpec::Banded { rows, cols, bandwidth, avg_deg, seed } => {
+                gen::banded(rows, cols, bandwidth, avg_deg, seed)
+            }
+            MatrixSpec::CommunityPartial {
+                rows,
+                cols,
+                communities,
+                avg_deg,
+                p_in,
+                shuffle_frac,
+                seed,
+            } => gen::community_with_shuffle(rows, cols, communities, avg_deg, p_in, shuffle_frac, seed),
+            MatrixSpec::Web { rows, cols, avg_deg, alpha, locality, seed } => {
+                gen::web(rows, cols, avg_deg, alpha, locality, seed)
+            }
+            MatrixSpec::DlPruned { rows, cols, sparsity, seed } => {
+                gen::dl_pruned(rows, cols, sparsity, seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_builds() {
+        let specs = vec![
+            MatrixSpec::Uniform { rows: 64, cols: 64, nnz: 256, seed: 1 },
+            MatrixSpec::PowerLaw { rows: 64, cols: 64, avg_deg: 4.0, alpha: 2.2, seed: 2 },
+            MatrixSpec::Rmat { scale: 6, edge_factor: 4.0, probs: (0.57, 0.19, 0.19, 0.05), seed: 3 },
+            MatrixSpec::Community { rows: 64, cols: 64, communities: 4, avg_deg: 4.0, p_in: 0.9, seed: 4 },
+            MatrixSpec::LongRow { rows: 32, cols: 128, avg_deg: 40.0, cv: 0.5, seed: 5 },
+            MatrixSpec::DlPruned { rows: 32, cols: 32, sparsity: 0.8, seed: 6 },
+        ];
+        for s in specs {
+            let m = s.build();
+            assert!(m.nnz() > 0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn specs_are_deterministic() {
+        let s = MatrixSpec::PowerLaw { rows: 64, cols: 64, avg_deg: 2.0, alpha: 2.0, seed: 9 };
+        assert_eq!(s.build(), s.build());
+        let t = MatrixSpec::PowerLaw { rows: 64, cols: 64, avg_deg: 2.0, alpha: 2.0, seed: 10 };
+        assert_ne!(s.build(), t.build());
+    }
+}

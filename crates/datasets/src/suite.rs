@@ -1,0 +1,192 @@
+//! The SuiteSparse stand-in corpus.
+//!
+//! The paper sweeps 414 SuiteSparse matrices with ≥ 1 M non-zeros
+//! (excluding ones Sputnik or TCGNN cannot run). SuiteSparse is a *mixture*
+//! of application domains — circuit/mesh matrices (banded-ish, regular),
+//! web/social graphs (power law), optimization matrices (block/community
+//! structure), and a tail of dense-row problems. This corpus mirrors that
+//! mixture with 120 seeded synthetic matrices spanning the same AvgRowL
+//! range (2 – 600) at ~100× reduced NNZ.
+
+use crate::{Dataset, DatasetKind, MatrixSpec};
+
+/// Builds the 120-matrix corpus (deterministic).
+pub fn suite_corpus() -> Vec<Dataset> {
+    let mut corpus = Vec::new();
+    let mut push = |name: String, kind: DatasetKind, spec: MatrixSpec| {
+        corpus.push(Dataset { abbr: name.clone(), name, kind, paper: None, spec });
+    };
+
+    // 28 web/crawl graphs: power-law degrees with window locality.
+    let mut idx = 0;
+    for &rows in &[4096usize, 8192] {
+        for &avg in &[3.0, 6.0, 12.0, 24.0] {
+            for &alpha in &[1.9, 2.2, 2.6] {
+                idx += 1;
+                push(
+                    format!("web_{rows}_{avg}_{alpha}"),
+                    DatasetKind::TypeI,
+                    MatrixSpec::Web {
+                        rows,
+                        cols: rows,
+                        avg_deg: avg,
+                        alpha,
+                        locality: 0.65,
+                        seed: 0xB000 + idx,
+                    },
+                );
+            }
+        }
+    }
+    for &avg in &[3.0, 6.0] {
+        for &alpha in &[2.2, 2.6] {
+            idx += 1;
+            push(
+                format!("web_16384_{avg}_{alpha}"),
+                DatasetKind::TypeI,
+                MatrixSpec::Web {
+                    rows: 16_384,
+                    cols: 16_384,
+                    avg_deg: avg,
+                    alpha,
+                    locality: 0.65,
+                    seed: 0xB000 + idx,
+                },
+            );
+        }
+    }
+
+    // 24 banded / mesh matrices (FEM, circuits) — strong native locality.
+    for &rows in &[4096usize, 8192, 16384] {
+        for &(bw, avg) in &[(8usize, 4.0), (16, 8.0), (32, 12.0), (64, 24.0)] {
+            idx += 1;
+            push(
+                format!("mesh_{rows}_{bw}_{avg}"),
+                DatasetKind::TypeI,
+                MatrixSpec::Banded { rows, cols: rows, bandwidth: bw, avg_deg: avg, seed: 0xB000 + idx },
+            );
+        }
+    }
+    for &rows in &[6144usize, 12288] {
+        for &(bw, avg) in &[(12usize, 5.0), (24, 9.0), (48, 18.0), (96, 36.0), (128, 48.0), (192, 72.0)] {
+            idx += 1;
+            push(
+                format!("mesh_{rows}_{bw}_{avg}"),
+                if avg >= 64.0 { DatasetKind::TypeII } else { DatasetKind::TypeI },
+                MatrixSpec::Banded { rows, cols: rows, bandwidth: bw, avg_deg: avg, seed: 0xB000 + idx },
+            );
+        }
+    }
+
+    // 32 community/optimization matrices, mostly locality-ordered.
+    for &rows in &[4096usize, 8192] {
+        for &coms in &[16usize, 64, 256] {
+            for &avg in &[4.0, 8.0, 16.0, 32.0] {
+                idx += 1;
+                push(
+                    format!("com_{rows}_{coms}_{avg}"),
+                    DatasetKind::TypeI,
+                    MatrixSpec::CommunityPartial {
+                        rows,
+                        cols: rows,
+                        communities: coms,
+                        avg_deg: avg,
+                        p_in: 0.85,
+                        shuffle_frac: 0.25,
+                        seed: 0xB000 + idx,
+                    },
+                );
+            }
+        }
+    }
+    for &coms in &[64usize, 256] {
+        for &avg in &[4.0, 8.0, 16.0, 32.0] {
+            idx += 1;
+            push(
+                format!("com_16384_{coms}_{avg}"),
+                DatasetKind::TypeI,
+                MatrixSpec::CommunityPartial {
+                    rows: 16_384,
+                    cols: 16_384,
+                    communities: coms,
+                    avg_deg: avg,
+                    p_in: 0.85,
+                    shuffle_frac: 0.25,
+                    seed: 0xB000 + idx,
+                },
+            );
+        }
+    }
+
+    // 12 R-MAT graphs: fully scattered social structure — the hard tail
+    // where TC condensing gains the least (the paper's few slowdowns).
+    for &scale in &[12u32, 13] {
+        for &ef in &[4.0, 8.0] {
+            for probs in [(0.57, 0.19, 0.19, 0.05), (0.45, 0.22, 0.22, 0.11), (0.3, 0.25, 0.25, 0.2)] {
+                idx += 1;
+                push(
+                    format!("rmat_{scale}_{ef}_{:.2}", probs.0),
+                    DatasetKind::TypeI,
+                    MatrixSpec::Rmat { scale, edge_factor: ef, probs, seed: 0xB000 + idx },
+                );
+            }
+        }
+    }
+
+    // 18 long-row (Type II) matrices.
+    for &rows in &[1024usize, 2048] {
+        for &avg in &[96.0, 192.0, 384.0] {
+            for &cv in &[0.5, 1.0, 1.5] {
+                idx += 1;
+                push(
+                    format!("lr_{rows}_{avg}_{cv}"),
+                    DatasetKind::TypeII,
+                    MatrixSpec::LongRow { rows, cols: rows, avg_deg: avg, cv, seed: 0xB000 + idx },
+                );
+            }
+        }
+    }
+
+    // 6 uniform scatter matrices (worst case for condensing).
+    for &rows in &[4096usize, 8192, 16384] {
+        for &avg in &[4usize, 16] {
+            idx += 1;
+            push(
+                format!("uni_{rows}_{avg}"),
+                DatasetKind::TypeI,
+                MatrixSpec::Uniform { rows, cols: rows, nnz: rows * avg, seed: 0xB000 + idx },
+            );
+        }
+    }
+
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_size() {
+        assert_eq!(suite_corpus().len(), 120);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let corpus = suite_corpus();
+        let mut names: Vec<&str> = corpus.iter().map(|d| d.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len());
+    }
+
+    #[test]
+    fn avg_row_len_spans_paper_range() {
+        // Check a cheap subset: one small Type I and one Type II.
+        let corpus = suite_corpus();
+        let t1 = corpus.iter().find(|d| d.name.starts_with("uni_4096_4")).unwrap();
+        let t2 = corpus.iter().find(|d| d.name.starts_with("lr_1024_384")).unwrap();
+        assert!(t1.stats().avg_row_len < 6.0);
+        assert!(t2.stats().avg_row_len > 150.0);
+    }
+}

@@ -1,0 +1,266 @@
+use crate::{CsrMatrix, FormatError};
+use serde::{Deserialize, Serialize};
+
+/// Blocked-Ellpack (BELL) — the format behind cuSPARSE's Block-SpMM.
+///
+/// The matrix is tiled into `block_size × block_size` dense blocks. Every
+/// block-row stores the same number of blocks (the maximum over all
+/// block-rows), padded with explicit zero blocks — the classic ELL padding
+/// that the paper notes "can lead to out-of-memory (OOM) issues when applied
+/// to large-scale matrices" (§5.2).
+///
+/// # Example
+///
+/// ```
+/// use dtc_formats::{BellMatrix, CsrMatrix};
+///
+/// # fn main() -> Result<(), dtc_formats::FormatError> {
+/// let a = CsrMatrix::from_triplets(64, 64, &[(0, 0, 1.0), (40, 63, 2.0)])?;
+/// let bell = BellMatrix::from_csr(&a, 32, u64::MAX)?;
+/// assert_eq!(bell.block_size(), 32);
+/// assert_eq!(bell.blocks_per_row(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BellMatrix {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    block_size: usize,
+    /// Max non-empty block columns over all block rows (ELL width).
+    blocks_per_row: usize,
+    /// `num_block_rows * blocks_per_row` block-column indices;
+    /// `u32::MAX` marks padding.
+    block_cols: Vec<u32>,
+    /// Dense storage: one `block_size^2` slab per slot, row-major within the
+    /// block, aligned with `block_cols`.
+    block_values: Vec<f32>,
+}
+
+impl BellMatrix {
+    /// Converts CSR to BELL with the given block size, failing if the padded
+    /// representation would not fit in `device_bytes` of memory.
+    ///
+    /// # Errors
+    ///
+    /// - [`FormatError::NotSupported`] if `block_size` is zero.
+    /// - [`FormatError::OutOfMemory`] if the padded value storage exceeds
+    ///   `device_bytes` (Block-SpMM's practical failure mode on large
+    ///   unstructured matrices).
+    pub fn from_csr(a: &CsrMatrix, block_size: usize, device_bytes: u64) -> Result<Self, FormatError> {
+        if block_size == 0 {
+            return Err(FormatError::NotSupported("block size must be positive".into()));
+        }
+        let num_block_rows = a.rows().div_ceil(block_size);
+        let num_block_cols_total = a.cols().div_ceil(block_size);
+        // Pass 1: find non-empty block columns per block row.
+        let mut per_row_blocks: Vec<Vec<u32>> = vec![Vec::new(); num_block_rows];
+        for (r, c, _) in a.iter() {
+            let br = r / block_size;
+            let bc = (c / block_size) as u32;
+            debug_assert!((bc as usize) < num_block_cols_total);
+            let list = &mut per_row_blocks[br];
+            if list.last() != Some(&bc) {
+                match list.binary_search(&bc) {
+                    Ok(_) => {}
+                    Err(pos) => list.insert(pos, bc),
+                }
+            }
+        }
+        let blocks_per_row = per_row_blocks.iter().map(Vec::len).max().unwrap_or(0);
+        // OOM check before allocating.
+        let total_blocks = num_block_rows as u64 * blocks_per_row as u64;
+        let required_bytes = total_blocks
+            * (block_size as u64 * block_size as u64 * 4 /* f32 values */ + 4 /* col index */);
+        if required_bytes > device_bytes {
+            return Err(FormatError::OutOfMemory { required_bytes, available_bytes: device_bytes });
+        }
+        // Pass 2: fill.
+        let slot_len = block_size * block_size;
+        let mut block_cols = vec![u32::MAX; num_block_rows * blocks_per_row];
+        let mut block_values = vec![0f32; num_block_rows * blocks_per_row * slot_len];
+        for (br, blocks) in per_row_blocks.iter().enumerate() {
+            for (slot, &bc) in blocks.iter().enumerate() {
+                block_cols[br * blocks_per_row + slot] = bc;
+            }
+        }
+        for (r, c, v) in a.iter() {
+            let br = r / block_size;
+            let bc = (c / block_size) as u32;
+            let slot = per_row_blocks[br]
+                .binary_search(&bc)
+                .expect("block recorded in pass 1");
+            let base = (br * blocks_per_row + slot) * slot_len;
+            let local = (r % block_size) * block_size + (c % block_size);
+            block_values[base + local] = v;
+        }
+        Ok(BellMatrix {
+            rows: a.rows(),
+            cols: a.cols(),
+            nnz: a.nnz(),
+            block_size,
+            blocks_per_row,
+            block_cols,
+            block_values,
+        })
+    }
+
+    /// Number of rows of the original matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the original matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Structural non-zeros of the original matrix.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Edge length of the square blocks.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// ELL width: padded number of block slots per block row.
+    pub fn blocks_per_row(&self) -> usize {
+        self.blocks_per_row
+    }
+
+    /// Number of block rows.
+    pub fn num_block_rows(&self) -> usize {
+        self.rows.div_ceil(self.block_size)
+    }
+
+    /// Number of *stored* (non-padding) blocks.
+    pub fn num_stored_blocks(&self) -> usize {
+        self.block_cols.iter().filter(|&&c| c != u32::MAX).count()
+    }
+
+    /// Total padded slots (stored + padding).
+    pub fn num_slots(&self) -> usize {
+        self.block_cols.len()
+    }
+
+    /// Block-column index of a slot, or `None` for padding.
+    pub fn slot_block_col(&self, block_row: usize, slot: usize) -> Option<u32> {
+        let c = self.block_cols[block_row * self.blocks_per_row + slot];
+        (c != u32::MAX).then_some(c)
+    }
+
+    /// The dense values of a slot (row-major `block_size × block_size`).
+    pub fn slot_values(&self, block_row: usize, slot: usize) -> &[f32] {
+        let slot_len = self.block_size * self.block_size;
+        let base = (block_row * self.blocks_per_row + slot) * slot_len;
+        &self.block_values[base..base + slot_len]
+    }
+
+    /// Bytes of padded value + index storage.
+    pub fn padded_bytes(&self) -> u64 {
+        self.block_values.len() as u64 * 4 + self.block_cols.len() as u64 * 4
+    }
+
+    /// Fraction of stored value slots that are actually non-zero — the
+    /// padding-induced density loss of BELL on unstructured matrices.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.block_values.is_empty() {
+            return 0.0;
+        }
+        self.nnz as f64 / self.block_values.len() as f64
+    }
+
+    /// Reconstructs the original matrix (for verification). Explicit zero
+    /// entries of the original are dropped: the dense storage cannot
+    /// distinguish them from padding.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for values built by [`BellMatrix::from_csr`].
+    pub fn to_csr(&self) -> Result<CsrMatrix, FormatError> {
+        let mut triplets = Vec::with_capacity(self.nnz);
+        for br in 0..self.num_block_rows() {
+            for slot in 0..self.blocks_per_row {
+                let Some(bc) = self.slot_block_col(br, slot) else { continue };
+                let vals = self.slot_values(br, slot);
+                for lr in 0..self.block_size {
+                    for lc in 0..self.block_size {
+                        let v = vals[lr * self.block_size + lc];
+                        if v != 0.0 {
+                            let r = br * self.block_size + lr;
+                            let c = bc as usize * self.block_size + lc;
+                            triplets.push((r, c, v));
+                        }
+                    }
+                }
+            }
+        }
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let a = CsrMatrix::from_triplets(
+            70,
+            70,
+            &[(0, 0, 1.0), (0, 69, 2.0), (35, 35, 3.0), (69, 1, 4.0)],
+        )
+        .unwrap();
+        let bell = BellMatrix::from_csr(&a, 32, u64::MAX).unwrap();
+        assert_eq!(bell.to_csr().unwrap(), a);
+    }
+
+    #[test]
+    fn ell_padding_width() {
+        // Row block 0 touches 3 block columns, row block 1 touches 1.
+        let a = CsrMatrix::from_triplets(
+            8,
+            16,
+            &[(0, 0, 1.0), (0, 5, 1.0), (0, 10, 1.0), (4, 0, 1.0)],
+        )
+        .unwrap();
+        let bell = BellMatrix::from_csr(&a, 4, u64::MAX).unwrap();
+        assert_eq!(bell.blocks_per_row(), 3);
+        assert_eq!(bell.num_stored_blocks(), 4);
+        assert_eq!(bell.num_slots(), 6); // 2 block rows x width 3
+    }
+
+    #[test]
+    fn oom_detection() {
+        // A diagonal-ish scatter forces every block row to its own column
+        // and a very wide ELL once a single row is dense.
+        let t: Vec<(usize, usize, f32)> = (0..64).map(|c| (0, c * 32, 1.0)).collect();
+        let a = CsrMatrix::from_triplets(32, 64 * 32, &t).unwrap();
+        let err = BellMatrix::from_csr(&a, 32, 1024).unwrap_err();
+        assert!(matches!(err, FormatError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn fill_ratio_reflects_padding() {
+        let a = CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0)]).unwrap();
+        let bell = BellMatrix::from_csr(&a, 4, u64::MAX).unwrap();
+        assert!((bell.fill_ratio() - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_block_size_rejected() {
+        let a = CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0)]).unwrap();
+        assert!(BellMatrix::from_csr(&a, 0, u64::MAX).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = CsrMatrix::from_triplets(8, 8, &[]).unwrap();
+        let bell = BellMatrix::from_csr(&a, 4, u64::MAX).unwrap();
+        assert_eq!(bell.blocks_per_row(), 0);
+        assert_eq!(bell.to_csr().unwrap().nnz(), 0);
+    }
+}

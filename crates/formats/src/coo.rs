@@ -1,0 +1,150 @@
+use crate::{CsrMatrix, DenseMatrix, FormatError};
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix in Coordinate (COO) format.
+///
+/// Entries are kept sorted by `(row, col)` with duplicates summed, so a
+/// `CooMatrix` is a canonical representation: two COO matrices with the same
+/// entries compare equal.
+///
+/// # Example
+///
+/// ```
+/// use dtc_formats::CooMatrix;
+///
+/// # fn main() -> Result<(), dtc_formats::FormatError> {
+/// let m = CooMatrix::from_triplets(3, 3, &[(2, 1, 4.0), (0, 0, 1.0)])?;
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.triplets()[0], (0, 0, 1.0)); // sorted
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f32)>,
+}
+
+impl CooMatrix {
+    /// Builds a COO matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate coordinates are summed; explicit zeros are kept (they are
+    /// structural non-zeros, as in SuiteSparse).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::IndexOutOfBounds`] if any triplet lies outside
+    /// the declared shape.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f32)],
+    ) -> Result<Self, FormatError> {
+        let mut entries: Vec<(u32, u32, f32)> = Vec::with_capacity(triplets.len());
+        for &(r, c, v) in triplets {
+            if r >= rows || c >= cols {
+                return Err(FormatError::IndexOutOfBounds { row: r, col: c, rows, cols });
+            }
+            entries.push((r as u32, c as u32, v));
+        }
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // Sum duplicates.
+        let mut dedup: Vec<(u32, u32, f32)> = Vec::with_capacity(entries.len());
+        for (r, c, v) in entries {
+            match dedup.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => dedup.push((r, c, v)),
+            }
+        }
+        Ok(CooMatrix { rows, cols, entries: dedup })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structural) non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The sorted `(row, col, value)` triplets.
+    pub fn triplets(&self) -> Vec<(usize, usize, f32)> {
+        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v)).collect()
+    }
+
+    /// Iterator over the sorted entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+
+    /// Converts to CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        for &(r, _, _) in &self.entries {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx: Vec<u32> = self.entries.iter().map(|e| e.1).collect();
+        let values: Vec<f32> = self.entries.iter().map(|e| e.2).collect();
+        CsrMatrix::from_parts(self.rows, self.cols, row_ptr, col_idx, values)
+            .expect("COO invariants guarantee a valid CSR")
+    }
+
+    /// Materializes the matrix densely. Intended for small test matrices.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for &(r, c, v) in &self.entries {
+            out.set(r as usize, c as usize, v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_are_sorted_and_summed() {
+        let m = CooMatrix::from_triplets(4, 4, &[(1, 1, 2.0), (0, 3, 1.0), (1, 1, 3.0)]).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.triplets(), vec![(0, 3, 1.0), (1, 1, 5.0)]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let err = CooMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, FormatError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn to_csr_roundtrip_via_dense() {
+        let m = CooMatrix::from_triplets(3, 5, &[(0, 4, 1.0), (2, 0, -2.0), (2, 3, 9.0)]).unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CooMatrix::from_triplets(10, 10, &[]).unwrap();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let a = CooMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        let b = CooMatrix::from_triplets(2, 2, &[(1, 1, 2.0), (0, 0, 1.0)]).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,212 @@
+use crate::{CsrMatrix, FormatError};
+use serde::{Deserialize, Serialize};
+
+/// Column-Vector Sparse Encoding (CVSE) — VectorSparse's format.
+///
+/// Rows are grouped into vectors of `vector_len` consecutive rows. For every
+/// column where *any* row of the group has a non-zero, a dense
+/// `vector_len × 1` column vector is stored (zero-padded). This is
+/// finer-grained than BELL blocks but still pays padding for unstructured
+/// sparsity — each stored vector with a single real non-zero wastes
+/// `vector_len - 1` slots.
+///
+/// # Example
+///
+/// ```
+/// use dtc_formats::{CsrMatrix, CvseMatrix};
+///
+/// # fn main() -> Result<(), dtc_formats::FormatError> {
+/// let a = CsrMatrix::from_triplets(8, 8, &[(0, 3, 1.0), (1, 3, 2.0), (5, 0, 3.0)])?;
+/// let v = CvseMatrix::from_csr(&a, 4)?;
+/// assert_eq!(v.num_vectors(), 2); // col 3 of group 0, col 0 of group 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CvseMatrix {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    vector_len: usize,
+    /// Offsets into `vector_cols` per row group (`num_groups + 1`).
+    group_ptr: Vec<usize>,
+    /// Column index of each stored vector.
+    vector_cols: Vec<u32>,
+    /// Dense vector values, `vector_len` per stored vector.
+    vector_values: Vec<f32>,
+}
+
+impl CvseMatrix {
+    /// Converts CSR to CVSE with the given vector length (the paper
+    /// evaluates 4 and 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::NotSupported`] if `vector_len` is zero.
+    pub fn from_csr(a: &CsrMatrix, vector_len: usize) -> Result<Self, FormatError> {
+        if vector_len == 0 {
+            return Err(FormatError::NotSupported("vector length must be positive".into()));
+        }
+        let num_groups = a.rows().div_ceil(vector_len);
+        let mut group_ptr = Vec::with_capacity(num_groups + 1);
+        let mut vector_cols: Vec<u32> = Vec::new();
+        let mut vector_values: Vec<f32> = Vec::new();
+        group_ptr.push(0);
+        for g in 0..num_groups {
+            let row_lo = g * vector_len;
+            let row_hi = (row_lo + vector_len).min(a.rows());
+            let mut cols: Vec<u32> = Vec::new();
+            for r in row_lo..row_hi {
+                cols.extend_from_slice(a.row_entries(r).0);
+            }
+            cols.sort_unstable();
+            cols.dedup();
+            let base = vector_values.len();
+            vector_values.resize(base + cols.len() * vector_len, 0.0);
+            for r in row_lo..row_hi {
+                let (rcols, rvals) = a.row_entries(r);
+                for (&c, &v) in rcols.iter().zip(rvals) {
+                    let slot = cols.binary_search(&c).expect("col present");
+                    vector_values[base + slot * vector_len + (r - row_lo)] = v;
+                }
+            }
+            vector_cols.extend_from_slice(&cols);
+            group_ptr.push(vector_cols.len());
+        }
+        Ok(CvseMatrix {
+            rows: a.rows(),
+            cols: a.cols(),
+            nnz: a.nnz(),
+            vector_len,
+            group_ptr,
+            vector_cols,
+            vector_values,
+        })
+    }
+
+    /// Number of rows of the original matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the original matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Structural non-zeros of the original matrix.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Length of each stored column vector.
+    pub fn vector_len(&self) -> usize {
+        self.vector_len
+    }
+
+    /// Number of row groups.
+    pub fn num_groups(&self) -> usize {
+        self.group_ptr.len() - 1
+    }
+
+    /// Total stored column vectors.
+    pub fn num_vectors(&self) -> usize {
+        self.vector_cols.len()
+    }
+
+    /// `(columns, values)` of the vectors in group `g`; `values` holds
+    /// `vector_len` floats per column.
+    pub fn group(&self, g: usize) -> (&[u32], &[f32]) {
+        let range = self.group_ptr[g]..self.group_ptr[g + 1];
+        (
+            &self.vector_cols[range.clone()],
+            &self.vector_values[range.start * self.vector_len..range.end * self.vector_len],
+        )
+    }
+
+    /// Fraction of stored value slots that are real non-zeros.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.vector_values.is_empty() {
+            return 0.0;
+        }
+        self.nnz as f64 / self.vector_values.len() as f64
+    }
+
+    /// Bytes of stored vectors + indices.
+    pub fn stored_bytes(&self) -> u64 {
+        self.vector_values.len() as u64 * 4 + self.vector_cols.len() as u64 * 4
+    }
+
+    /// Reconstructs the original matrix (for verification). Explicit zero
+    /// entries of the original are dropped: the dense storage cannot
+    /// distinguish them from padding.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for values built by [`CvseMatrix::from_csr`].
+    pub fn to_csr(&self) -> Result<CsrMatrix, FormatError> {
+        let mut triplets = Vec::with_capacity(self.nnz);
+        for g in 0..self.num_groups() {
+            let (cols, vals) = self.group(g);
+            for (i, &c) in cols.iter().enumerate() {
+                for lr in 0..self.vector_len {
+                    let v = vals[i * self.vector_len + lr];
+                    if v != 0.0 {
+                        triplets.push((g * self.vector_len + lr, c as usize, v));
+                    }
+                }
+            }
+        }
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let a = CsrMatrix::from_triplets(
+            10,
+            12,
+            &[(0, 0, 1.0), (3, 0, 2.0), (4, 11, 3.0), (9, 6, 4.0)],
+        )
+        .unwrap();
+        let v = CvseMatrix::from_csr(&a, 4).unwrap();
+        assert_eq!(v.to_csr().unwrap(), a);
+    }
+
+    #[test]
+    fn vector_sharing() {
+        // Rows 0..4 all hit column 7: one vector, fully dense.
+        let t: Vec<(usize, usize, f32)> = (0..4).map(|r| (r, 7, (r + 1) as f32)).collect();
+        let a = CsrMatrix::from_triplets(4, 8, &t).unwrap();
+        let v = CvseMatrix::from_csr(&a, 4).unwrap();
+        assert_eq!(v.num_vectors(), 1);
+        assert_eq!(v.fill_ratio(), 1.0);
+    }
+
+    #[test]
+    fn lonely_nonzeros_pad() {
+        // One nnz per group: fill ratio = 1/vector_len.
+        let a = CsrMatrix::from_triplets(8, 8, &[(0, 0, 1.0), (4, 4, 1.0)]).unwrap();
+        let v = CvseMatrix::from_csr(&a, 4).unwrap();
+        assert!((v.fill_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_len_rejected() {
+        let a = CsrMatrix::from_triplets(4, 4, &[]).unwrap();
+        assert!(CvseMatrix::from_csr(&a, 0).is_err());
+    }
+
+    #[test]
+    fn group_accessor_shapes() {
+        let a = CsrMatrix::from_triplets(8, 8, &[(0, 1, 1.0), (1, 2, 2.0), (6, 3, 3.0)]).unwrap();
+        let v = CvseMatrix::from_csr(&a, 4).unwrap();
+        let (cols, vals) = v.group(0);
+        assert_eq!(cols, &[1, 2]);
+        assert_eq!(vals.len(), 8);
+    }
+}

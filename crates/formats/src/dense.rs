@@ -1,0 +1,274 @@
+use crate::FormatError;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major `f32` matrix.
+///
+/// This is the `B` (input feature) and `C` (output) operand type for every
+/// SpMM implementation in the workspace.
+///
+/// # Example
+///
+/// ```
+/// use dtc_formats::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2, 3);
+/// m.set(1, 2, 5.0);
+/// assert_eq!(m.get(1, 2), 5.0);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Creates a matrix of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix of the given shape filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![1.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, FormatError> {
+        if data.len() != rows * cols {
+            return Err(FormatError::DimensionMismatch {
+                op: "DenseMatrix::from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow of one row as a slice.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f32] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutable borrow of one row.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The backing row-major data slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the backing vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Transposed copy of the matrix.
+    pub fn transposed(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Dense GEMM: `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] when inner dimensions differ.
+    pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, FormatError> {
+        if self.cols != rhs.rows {
+            return Err(FormatError::DimensionMismatch {
+                op: "matmul",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute element-wise difference to another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Maximum relative element-wise difference, with `eps` guarding
+    /// division by near-zero reference values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_rel_diff(&self, other: &DenseMatrix, eps: f32) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs() / b.abs().max(eps))
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = DenseMatrix::zeros(3, 4);
+        assert_eq!(z.as_slice().iter().sum::<f32>(), 0.0);
+        let o = DenseMatrix::ones(3, 4);
+        assert_eq!(o.as_slice().iter().sum::<f32>(), 12.0);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = DenseMatrix::zeros(4, 4);
+        m.set(2, 3, 7.5);
+        assert_eq!(m.get(2, 3), 7.5);
+        assert_eq!(m.get(3, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        DenseMatrix::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = DenseMatrix::from_fn(3, 5, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed().get(4, 2), m.get(2, 4));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = DenseMatrix::from_fn(3, 3, |r, c| (r + c) as f32);
+        let id = DenseMatrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(m.matmul(&id).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = DenseMatrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_dim_mismatch() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn diff_metrics() {
+        let a = DenseMatrix::from_vec(1, 2, vec![1.0, 2.0]).unwrap();
+        let b = DenseMatrix::from_vec(1, 2, vec![1.0, 2.5]).unwrap();
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        assert!((a.max_rel_diff(&b, 1e-12) - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_accessors() {
+        let m = DenseMatrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+    }
+}

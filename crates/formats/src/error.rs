@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Error type for format construction and conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// A coordinate was outside the declared matrix shape.
+    IndexOutOfBounds {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// Declared number of rows.
+        rows: usize,
+        /// Declared number of columns.
+        cols: usize,
+    },
+    /// Matrix dimensions of two operands do not agree.
+    DimensionMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Left-hand shape.
+        lhs: (usize, usize),
+        /// Right-hand shape.
+        rhs: (usize, usize),
+    },
+    /// A CSR row-pointer array was malformed (wrong length or not monotone).
+    MalformedRowPtr(String),
+    /// The format cannot represent this matrix on the given device
+    /// (e.g. Blocked-Ellpack padding exceeding device memory).
+    OutOfMemory {
+        /// Bytes the conversion would need.
+        required_bytes: u64,
+        /// Bytes available on the simulated device.
+        available_bytes: u64,
+    },
+    /// The implementation does not support matrices of this shape
+    /// (e.g. SparTA's 50 000 row/column limit, TCGNN's square-only limit).
+    NotSupported(String),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::IndexOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for a {rows}x{cols} matrix"
+            ),
+            FormatError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            FormatError::MalformedRowPtr(msg) => write!(f, "malformed row pointer: {msg}"),
+            FormatError::OutOfMemory { required_bytes, available_bytes } => write!(
+                f,
+                "out of memory: conversion needs {required_bytes} bytes, device has {available_bytes}"
+            ),
+            FormatError::NotSupported(msg) => write!(f, "not supported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<FormatError> = vec![
+            FormatError::IndexOutOfBounds { row: 5, col: 6, rows: 4, cols: 4 },
+            FormatError::DimensionMismatch { op: "spmm", lhs: (4, 4), rhs: (5, 8) },
+            FormatError::MalformedRowPtr("len 0".into()),
+            FormatError::OutOfMemory { required_bytes: 10, available_bytes: 1 },
+            FormatError::NotSupported("rows > 50000".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("out"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FormatError>();
+    }
+}

@@ -1,0 +1,63 @@
+use super::rng_for;
+use crate::CsrMatrix;
+use rand::RngExt;
+
+/// Generates a magnitude-pruned DL weight matrix: uniform scatter at the
+/// given `sparsity` (0.6–0.9 in the Flash-LLM/SparTA regime), Gaussian-ish
+/// values. Shapes here are the "thousands to tens of thousands of rows"
+/// the paper attributes to DL weights (§2.2).
+///
+/// # Example
+///
+/// ```
+/// use dtc_formats::gen::dl_pruned;
+///
+/// let w = dl_pruned(1024, 1024, 0.8, 13);
+/// let density = w.nnz() as f64 / (1024.0 * 1024.0);
+/// assert!((density - 0.2).abs() < 0.02);
+/// ```
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= sparsity < 1.0`.
+pub fn dl_pruned(rows: usize, cols: usize, sparsity: f64, seed: u64) -> CsrMatrix {
+    assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0, 1)");
+    let mut rng = rng_for(seed);
+    let keep = 1.0 - sparsity;
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.random_range(0.0..1.0) < keep {
+                // Sum of 3 uniforms approximates a Gaussian weight.
+                let v: f32 = (0..3).map(|_| rng.random_range(-0.5f32..0.5)).sum();
+                triplets.push((r, c, v));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(rows, cols, &triplets).expect("coordinates in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_matches() {
+        let w = dl_pruned(200, 200, 0.7, 1);
+        let d = w.nnz() as f64 / 40_000.0;
+        assert!((d - 0.3).abs() < 0.03, "d={d}");
+    }
+
+    #[test]
+    fn rows_fairly_even() {
+        let w = dl_pruned(100, 400, 0.75, 2);
+        let stats = crate::stats::MatrixStats::of(&w);
+        assert!(stats.row_len_cv < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity")]
+    fn sparsity_one_rejected() {
+        dl_pruned(10, 10, 1.0, 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! Seeded synthetic sparse-matrix generators.
+//!
+//! The paper evaluates on real datasets (Table 1, SuiteSparse, IGB) that we
+//! cannot ship; these generators produce matrices with the *statistics that
+//! drive SpMM behaviour* — shape, NNZ, average row length, degree skew, and
+//! column locality — under deterministic seeds. See `DESIGN.md` §1 for the
+//! substitution rationale.
+
+mod banded;
+mod community;
+mod dlprune;
+mod longrow;
+mod powerlaw;
+mod rmat;
+mod uniform;
+mod web;
+
+pub use banded::banded;
+pub use community::{community, community_with_shuffle};
+pub use dlprune::dl_pruned;
+pub use longrow::{long_row, long_row_ordered};
+pub use powerlaw::power_law;
+pub use rmat::rmat;
+pub use uniform::uniform;
+pub use web::web;
+
+use crate::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Creates the deterministic RNG used by all generators.
+pub(crate) fn rng_for(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Builds a CSR matrix from per-row degrees and a column sampler.
+///
+/// For each row `r`, draws `degrees[r]` *distinct* columns using
+/// `sample_col(rng, r)` (retrying duplicates, capped at `cols`), assigns
+/// values uniform in `[-1, 1)`, and assembles the CSR matrix.
+pub(crate) fn from_row_degrees(
+    rows: usize,
+    cols: usize,
+    degrees: &[usize],
+    rng: &mut StdRng,
+    mut sample_col: impl FnMut(&mut StdRng, usize) -> usize,
+) -> CsrMatrix {
+    assert_eq!(degrees.len(), rows);
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+    let mut row_cols: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut sorted_cols: Vec<usize> = Vec::new();
+    for (r, &deg) in degrees.iter().enumerate() {
+        let deg = deg.min(cols);
+        row_cols.clear();
+        let mut attempts = 0usize;
+        while row_cols.len() < deg && attempts < deg * 30 + 64 {
+            let c = sample_col(rng, r).min(cols - 1);
+            row_cols.insert(c);
+            attempts += 1;
+        }
+        // Fallback for pathological samplers: fill sequentially.
+        let mut next = 0usize;
+        while row_cols.len() < deg {
+            row_cols.insert(next);
+            next += 1;
+        }
+        // Sort before assigning values so output is independent of the
+        // HashSet's (randomized) iteration order.
+        sorted_cols.clear();
+        sorted_cols.extend(row_cols.iter().copied());
+        sorted_cols.sort_unstable();
+        for &c in &sorted_cols {
+            triplets.push((r, c, rng.random_range(-1.0f32..1.0)));
+        }
+    }
+    CsrMatrix::from_triplets(rows, cols, &triplets).expect("generator produces valid triplets")
+}
+
+/// Draws row degrees from a discretized log-normal with the given mean and
+/// coefficient of variation, clamped to `[min_deg, cols]`.
+pub(crate) fn lognormal_degrees(
+    rows: usize,
+    cols: usize,
+    mean_deg: f64,
+    cv: f64,
+    min_deg: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    // For lognormal: cv^2 = exp(sigma^2) - 1.
+    let sigma2 = (1.0 + cv * cv).ln();
+    let sigma = sigma2.sqrt();
+    let mu = mean_deg.max(1e-9).ln() - sigma2 / 2.0;
+    (0..rows)
+        .map(|_| {
+            // Box-Muller normal from two uniforms.
+            let u1: f64 = rng.random_range(1e-12f64..1.0);
+            let u2: f64 = rng.random_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let d = (mu + sigma * z).exp().round();
+            (d.max(min_deg as f64) as usize).min(cols)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_row_degrees_respects_degrees() {
+        let mut rng = rng_for(7);
+        let degrees = vec![3, 0, 5, 1];
+        let m = from_row_degrees(4, 100, &degrees, &mut rng, |rng, _| rng.random_range(0..100));
+        for (r, &d) in degrees.iter().enumerate() {
+            assert_eq!(m.row_len(r), d);
+        }
+    }
+
+    #[test]
+    fn from_row_degrees_caps_at_cols() {
+        let mut rng = rng_for(7);
+        let m = from_row_degrees(1, 4, &[10], &mut rng, |rng, _| rng.random_range(0..4));
+        assert_eq!(m.row_len(0), 4);
+    }
+
+    #[test]
+    fn lognormal_mean_approximate() {
+        let mut rng = rng_for(99);
+        let deg = lognormal_degrees(20_000, 100_000, 50.0, 1.0, 1, &mut rng);
+        let mean = deg.iter().sum::<usize>() as f64 / deg.len() as f64;
+        assert!((mean - 50.0).abs() < 5.0, "mean={mean}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = uniform(100, 100, 500, 42);
+        let b = uniform(100, 100, 500, 42);
+        assert_eq!(a, b);
+        let c = uniform(100, 100, 500, 43);
+        assert_ne!(a, c);
+    }
+}

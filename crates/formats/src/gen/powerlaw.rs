@@ -1,0 +1,83 @@
+use super::{from_row_degrees, rng_for};
+use crate::CsrMatrix;
+use rand::RngExt;
+
+/// Generates a scale-free graph adjacency matrix: row degrees follow a
+/// truncated power law with exponent `alpha`, and columns are drawn with
+/// power-law popularity (preferential attachment flavour) so that hub
+/// columns are shared across many rows — the structure of web graphs like
+/// `web-BerkStan` and social graphs like `reddit`.
+///
+/// `avg_deg` controls the expected row length (`AvgRowL`).
+///
+/// # Example
+///
+/// ```
+/// use dtc_formats::gen::power_law;
+/// use dtc_formats::stats::MatrixStats;
+///
+/// let m = power_law(512, 512, 8.0, 2.1, 7);
+/// let s = MatrixStats::of(&m);
+/// assert!(s.avg_row_len > 4.0 && s.avg_row_len < 16.0);
+/// assert!(s.row_len_cv > 0.5); // skewed degrees
+/// ```
+pub fn power_law(rows: usize, cols: usize, avg_deg: f64, alpha: f64, seed: u64) -> CsrMatrix {
+    let mut rng = rng_for(seed);
+    // Draw degrees from a Pareto-like distribution with minimum 1,
+    // then rescale to the requested mean.
+    let raw: Vec<f64> = (0..rows)
+        .map(|_| {
+            let u: f64 = rng.random_range(1e-9..1.0);
+            // Inverse-CDF of a Pareto with exponent alpha, x_min = 1.
+            u.powf(-1.0 / (alpha - 1.0))
+        })
+        .collect();
+    let raw_mean = raw.iter().sum::<f64>() / rows.max(1) as f64;
+    let scale = if raw_mean > 0.0 { avg_deg / raw_mean } else { 0.0 };
+    let degrees: Vec<usize> = raw
+        .iter()
+        .map(|&d| ((d * scale).round().max(1.0) as usize).min(cols))
+        .collect();
+    // Column popularity ~ power law: u^alpha concentrates mass on
+    // low-rank (hub) columns; larger alpha means stronger hubs.
+    from_row_degrees(rows, cols, &degrees, &mut rng, move |rng, _| {
+        let u: f64 = rng.random_range(1e-9..1.0);
+        let rank = (u.powf(alpha) * cols as f64) as usize;
+        rank.min(cols - 1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn mean_degree_close() {
+        let m = power_law(2000, 2000, 10.0, 2.2, 5);
+        let s = MatrixStats::of(&m);
+        assert!((s.avg_row_len - 10.0).abs() < 3.0, "avg={}", s.avg_row_len);
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        let m = power_law(2000, 2000, 10.0, 2.0, 6);
+        let s = MatrixStats::of(&m);
+        assert!(s.max_row_len > 3 * s.avg_row_len as usize, "max={}", s.max_row_len);
+    }
+
+    #[test]
+    fn hub_columns_exist() {
+        // Column popularity skew: the most popular column should appear in
+        // far more rows than the median column.
+        let m = power_law(1000, 1000, 8.0, 2.0, 8);
+        let mut col_counts = vec![0usize; 1000];
+        for (_, c, _) in m.iter() {
+            col_counts[c] += 1;
+        }
+        col_counts.sort_unstable();
+        let max = *col_counts.last().unwrap();
+        let median = col_counts[500];
+        assert!(max > 4 * median.max(1), "max={max} median={median}");
+    }
+}

@@ -1,0 +1,90 @@
+use super::rng_for;
+use crate::CsrMatrix;
+use rand::RngExt;
+
+/// Generates an R-MAT graph adjacency matrix of `2^scale` nodes with
+/// `edge_factor * 2^scale` edges and recursion probabilities
+/// `(a, b, c, d)` (Graph500 defaults: 0.57, 0.19, 0.19, 0.05).
+///
+/// R-MAT produces the recursive community structure + heavy-tailed degrees
+/// characteristic of social and citation networks, and is the standard
+/// stand-in for SuiteSparse graph matrices.
+///
+/// # Example
+///
+/// ```
+/// use dtc_formats::gen::rmat;
+///
+/// let m = rmat(8, 8.0, (0.57, 0.19, 0.19, 0.05), 11);
+/// assert_eq!(m.rows(), 256);
+/// assert!(m.nnz() > 1000);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the probabilities do not sum to ~1 or `scale > 30`.
+pub fn rmat(scale: u32, edge_factor: f64, probs: (f64, f64, f64, f64), seed: u64) -> CsrMatrix {
+    let (a, b, c, d) = probs;
+    assert!((a + b + c + d - 1.0).abs() < 1e-6, "probabilities must sum to 1");
+    assert!(scale <= 30, "scale too large for this simulator");
+    let n = 1usize << scale;
+    let num_edges = (edge_factor * n as f64) as usize;
+    let mut rng = rng_for(seed);
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let (mut r, mut co) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let bit = 1usize << level;
+            let u: f64 = rng.random_range(0.0..1.0);
+            if u < a {
+                // top-left quadrant
+            } else if u < a + b {
+                co |= bit;
+            } else if u < a + b + c {
+                r |= bit;
+            } else {
+                r |= bit;
+                co |= bit;
+            }
+        }
+        triplets.push((r, co, rng.random_range(-1.0f32..1.0)));
+    }
+    // CooMatrix sums duplicate coordinates; for adjacency semantics we want
+    // them collapsed, which from_triplets does (values just sum).
+    CsrMatrix::from_triplets(n, n, &triplets).expect("rmat coordinates in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn shape_is_power_of_two() {
+        let m = rmat(6, 4.0, (0.57, 0.19, 0.19, 0.05), 1);
+        assert_eq!(m.rows(), 64);
+        assert_eq!(m.cols(), 64);
+    }
+
+    #[test]
+    fn skewed_probs_give_skewed_degrees() {
+        let skew = rmat(10, 8.0, (0.7, 0.15, 0.1, 0.05), 2);
+        let flat = rmat(10, 8.0, (0.25, 0.25, 0.25, 0.25), 2);
+        let s1 = MatrixStats::of(&skew);
+        let s2 = MatrixStats::of(&flat);
+        assert!(s1.row_len_cv > s2.row_len_cv, "{} vs {}", s1.row_len_cv, s2.row_len_cv);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_probs_rejected() {
+        rmat(4, 2.0, (0.5, 0.5, 0.5, 0.5), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rmat(7, 6.0, (0.57, 0.19, 0.19, 0.05), 9);
+        let b = rmat(7, 6.0, (0.57, 0.19, 0.19, 0.05), 9);
+        assert_eq!(a, b);
+    }
+}

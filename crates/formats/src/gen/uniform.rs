@@ -1,0 +1,65 @@
+use super::{from_row_degrees, rng_for};
+use crate::CsrMatrix;
+use rand::RngExt;
+
+/// Generates a matrix with `nnz` non-zeros scattered uniformly at random —
+/// the "naturally balanced workload" the paper uses to calibrate the
+/// Selector threshold (§4.5.2: 1000 generated matrices with uniformly
+/// distributed non-zeros).
+///
+/// The realized NNZ may differ from `nnz` by a small amount when collisions
+/// exhaust the retry budget on dense rows.
+///
+/// # Example
+///
+/// ```
+/// use dtc_formats::gen::uniform;
+///
+/// let m = uniform(64, 64, 512, 42);
+/// assert_eq!(m.rows(), 64);
+/// assert!(m.nnz() >= 500 && m.nnz() <= 512);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero while `nnz > 0`.
+pub fn uniform(rows: usize, cols: usize, nnz: usize, seed: u64) -> CsrMatrix {
+    assert!(nnz == 0 || (rows > 0 && cols > 0), "cannot place nnz in an empty matrix");
+    let mut rng = rng_for(seed);
+    // Spread nnz across rows via a multinomial-ish draw: base + remainder.
+    let base = nnz.checked_div(rows).unwrap_or(0);
+    let mut degrees = vec![base; rows];
+    let mut rem = nnz - base * rows;
+    while rem > 0 {
+        let r = rng.random_range(0..rows);
+        degrees[r] += 1;
+        rem -= 1;
+    }
+    from_row_degrees(rows, cols, &degrees, &mut rng, |rng, _| rng.random_range(0..cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn nnz_close_to_target() {
+        let m = uniform(100, 100, 1000, 1);
+        assert!(m.nnz() as i64 - 1000 >= -20 && m.nnz() <= 1000);
+    }
+
+    #[test]
+    fn rows_are_balanced() {
+        let m = uniform(200, 200, 2000, 2);
+        let s = MatrixStats::of(&m);
+        // Uniform scatter: row-length CV must be small.
+        assert!(s.row_len_cv < 0.5, "cv={}", s.row_len_cv);
+    }
+
+    #[test]
+    fn zero_nnz() {
+        let m = uniform(10, 10, 0, 3);
+        assert_eq!(m.nnz(), 0);
+    }
+}

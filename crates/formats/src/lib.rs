@@ -1,0 +1,68 @@
+//! Sparse matrix formats and synthetic workload generators for the DTC-SpMM
+//! reproduction.
+//!
+//! This crate provides every storage format the paper discusses:
+//!
+//! - [`CooMatrix`] / [`CsrMatrix`] — the classic general-purpose formats
+//!   (cuSPARSE's native formats).
+//! - [`Condensed`] — the result of Sparse Graph Translation (SGT, §2.3 of the
+//!   paper): non-zeros of each 16-row window compressed "towards the left"
+//!   into dense 16×8 *TC blocks*.
+//! - [`TcfMatrix`] — TC-GNN's five-array TCF format (the paper's Observation 1
+//!   shows it costs ~168 % more memory than CSR).
+//! - [`MeTcfMatrix`] — the paper's memory-efficient ME-TCF format (§4.2):
+//!   four arrays, with per-non-zero local indices stored as `u8`.
+//! - [`BellMatrix`] — Blocked-Ellpack, the format behind cuSPARSE Block-SpMM.
+//! - [`CvseMatrix`] — Column-Vector Sparse Encoding, used by VectorSparse.
+//!
+//! plus TF32 numerics emulation ([`tf32`]), matrix statistics used throughout
+//! the evaluation ([`stats`]), format memory accounting ([`footprint`]) and
+//! seeded synthetic matrix generators ([`gen`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dtc_formats::{CsrMatrix, DenseMatrix, Condensed};
+//!
+//! # fn main() -> Result<(), dtc_formats::FormatError> {
+//! // A tiny 4x4 sparse matrix in CSR form.
+//! let a = CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (1, 2, 2.0), (3, 3, 3.0)])?;
+//! let b = DenseMatrix::ones(4, 8);
+//! let c = a.spmm_reference(&b)?;
+//! assert_eq!(c.get(1, 0), 2.0);
+//!
+//! // Condense with SGT into 16x8 TC blocks.
+//! let condensed = Condensed::from_csr(&a);
+//! assert_eq!(condensed.num_tc_blocks(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod bell;
+mod coo;
+mod csr;
+mod cvse;
+mod dense;
+mod error;
+pub mod footprint;
+pub mod gen;
+mod metcf;
+pub mod mtx;
+pub mod precision;
+mod sgt;
+pub mod stats;
+mod tcf;
+pub mod tf32;
+
+pub use bell::BellMatrix;
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use cvse::CvseMatrix;
+pub use dense::DenseMatrix;
+pub use error::FormatError;
+pub use precision::Precision;
+pub use metcf::{MeTcfMatrix, PAD_COL};
+pub use sgt::{Condensed, RowWindow, TcBlock, BLOCK_WIDTH, WINDOW_HEIGHT};
+pub use tcf::TcfMatrix;

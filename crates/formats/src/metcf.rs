@@ -1,0 +1,323 @@
+use crate::{Condensed, CsrMatrix, FormatError, TcBlock, BLOCK_WIDTH, WINDOW_HEIGHT};
+use serde::{Deserialize, Serialize};
+
+/// Sentinel marking a padded (absent) column slot in `SparseAtoB`.
+pub const PAD_COL: u32 = u32::MAX;
+
+/// The paper's Memory-Efficient TCF format (ME-TCF, §4.2).
+///
+/// Four index arrays represent an SGT-condensed matrix:
+///
+/// - `row_window_offset[w]` — index of window `w`'s first TC block in
+///   `tc_offset` (`⌈M/16⌉ + 1` elements);
+/// - `tc_offset[t]` — index of TC block `t`'s first non-zero in
+///   `tc_local_id` (`NumTCBlock + 1` elements);
+/// - `tc_local_id[i]` — 8-bit local position (`local_row * 8 + local_col`,
+///   0..=127) of non-zero `i` inside its TC block (`NNZ` bytes — `NNZ/4`
+///   32-bit elements);
+/// - `sparse_a_to_b[t*8 + j]` — original column of block `t`'s column `j`
+///   (`NumTCBlock × 8` elements, padded with [`PAD_COL`]).
+///
+/// Total: `⌈M/16⌉ + 9·NumTCBlock + NNZ/4 + 2` 32-bit elements, versus
+/// `M + 1 + NNZ` for CSR and `⌈M/16⌉ + M + 1 + 3·NNZ` for TCF.
+///
+/// # Example
+///
+/// ```
+/// use dtc_formats::{CsrMatrix, MeTcfMatrix};
+///
+/// # fn main() -> Result<(), dtc_formats::FormatError> {
+/// let a = CsrMatrix::from_triplets(16, 64, &[(0, 3, 1.0), (5, 3, 2.0), (9, 60, 3.0)])?;
+/// let m = MeTcfMatrix::from_csr(&a);
+/// assert_eq!(m.num_tc_blocks(), 1);
+/// assert_eq!(m.to_csr()?, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeTcfMatrix {
+    rows: usize,
+    cols: usize,
+    row_window_offset: Vec<u32>,
+    tc_offset: Vec<u32>,
+    tc_local_id: Vec<u8>,
+    sparse_a_to_b: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl MeTcfMatrix {
+    /// Converts a CSR matrix to ME-TCF (SGT condensing + array packing).
+    pub fn from_csr(a: &CsrMatrix) -> Self {
+        Self::from_condensed(&Condensed::from_csr(a))
+    }
+
+    /// Packs an already-condensed matrix into ME-TCF arrays.
+    pub fn from_condensed(condensed: &Condensed) -> Self {
+        let num_blocks = condensed.num_tc_blocks();
+        let mut row_window_offset = Vec::with_capacity(condensed.num_windows() + 1);
+        let mut tc_offset = Vec::with_capacity(num_blocks + 1);
+        let mut tc_local_id = Vec::with_capacity(condensed.nnz());
+        let mut sparse_a_to_b = Vec::with_capacity(num_blocks * BLOCK_WIDTH);
+        let mut values = Vec::with_capacity(condensed.nnz());
+        row_window_offset.push(0);
+        tc_offset.push(0);
+        for w in condensed.windows() {
+            for block in w.blocks() {
+                for e in block.entries {
+                    tc_local_id.push(TcBlock::local_id(e));
+                    values.push(e.value);
+                }
+                tc_offset.push(tc_local_id.len() as u32);
+                sparse_a_to_b.extend_from_slice(block.cols);
+                sparse_a_to_b.extend(std::iter::repeat_n(PAD_COL, BLOCK_WIDTH - block.cols.len()));
+            }
+            row_window_offset.push(tc_offset.len() as u32 - 1);
+        }
+        MeTcfMatrix {
+            rows: condensed.rows(),
+            cols: condensed.cols(),
+            row_window_offset,
+            tc_offset,
+            tc_local_id,
+            sparse_a_to_b,
+            values,
+        }
+    }
+
+    /// Assembles an ME-TCF matrix from raw arrays (used by the parallel
+    /// converter in `dtc-core`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the array lengths are mutually inconsistent:
+    /// `row_window_offset` must cover `⌈rows/16⌉` windows and end at the
+    /// block count, `tc_offset` must end at the non-zero count, and
+    /// `sparse_a_to_b` must hold 8 slots per block.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_window_offset: Vec<u32>,
+        tc_offset: Vec<u32>,
+        tc_local_id: Vec<u8>,
+        sparse_a_to_b: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(row_window_offset.len(), rows.div_ceil(WINDOW_HEIGHT) + 1);
+        assert_eq!(*row_window_offset.first().unwrap_or(&0), 0);
+        let num_blocks = tc_offset.len() - 1;
+        assert_eq!(*row_window_offset.last().unwrap_or(&0) as usize, num_blocks);
+        assert_eq!(*tc_offset.last().expect("tc_offset non-empty") as usize, tc_local_id.len());
+        assert_eq!(sparse_a_to_b.len(), num_blocks * BLOCK_WIDTH);
+        assert_eq!(values.len(), tc_local_id.len());
+        MeTcfMatrix { rows, cols, row_window_offset, tc_offset, tc_local_id, sparse_a_to_b, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.tc_local_id.len()
+    }
+
+    /// Number of 16-row windows.
+    pub fn num_windows(&self) -> usize {
+        self.row_window_offset.len() - 1
+    }
+
+    /// Total number of TC blocks.
+    pub fn num_tc_blocks(&self) -> usize {
+        self.tc_offset.len() - 1
+    }
+
+    /// *RowWindowOffset* array.
+    pub fn row_window_offset(&self) -> &[u32] {
+        &self.row_window_offset
+    }
+
+    /// *TCOffset* array.
+    pub fn tc_offset(&self) -> &[u32] {
+        &self.tc_offset
+    }
+
+    /// *TCLocalId* array (8-bit local indices).
+    pub fn tc_local_id(&self) -> &[u8] {
+        &self.tc_local_id
+    }
+
+    /// *SparseAtoB* array (original column per block column slot).
+    pub fn sparse_a_to_b(&self) -> &[u32] {
+        &self.sparse_a_to_b
+    }
+
+    /// Non-zero values aligned with `tc_local_id`.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The range of global TC-block indices belonging to window `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= self.num_windows()`.
+    pub fn window_blocks(&self, w: usize) -> std::ops::Range<usize> {
+        self.row_window_offset[w] as usize..self.row_window_offset[w + 1] as usize
+    }
+
+    /// Number of TC blocks in window `w`.
+    pub fn window_block_count(&self, w: usize) -> usize {
+        self.window_blocks(w).len()
+    }
+
+    /// Per-window TC block counts.
+    pub fn window_block_counts(&self) -> Vec<usize> {
+        (0..self.num_windows()).map(|w| self.window_block_count(w)).collect()
+    }
+
+    /// `MeanNnzTC` for this matrix.
+    pub fn mean_nnz_tc(&self) -> f64 {
+        let blocks = self.num_tc_blocks();
+        if blocks == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / blocks as f64
+        }
+    }
+
+    /// The (up to 8) original column indices of global TC block `t`,
+    /// excluding padding.
+    pub fn block_cols(&self, t: usize) -> &[u32] {
+        let slots = &self.sparse_a_to_b[t * BLOCK_WIDTH..(t + 1) * BLOCK_WIDTH];
+        let valid = slots.iter().position(|&c| c == PAD_COL).unwrap_or(BLOCK_WIDTH);
+        &slots[..valid]
+    }
+
+    /// The `(local_ids, values)` of global TC block `t`.
+    pub fn block_entries(&self, t: usize) -> (&[u8], &[f32]) {
+        let range = self.tc_offset[t] as usize..self.tc_offset[t + 1] as usize;
+        (&self.tc_local_id[range.clone()], &self.values[range])
+    }
+
+    /// Index-array element count in 32-bit units (§4.2):
+    /// `⌈M/16⌉ + 9·NumTCBlock + NNZ/4 + 2`.
+    pub fn index_elements(&self) -> u64 {
+        self.rows.div_ceil(WINDOW_HEIGHT) as u64
+            + 9 * self.num_tc_blocks() as u64
+            + self.nnz() as u64 / 4
+            + 2
+    }
+
+    /// Reconstructs the original CSR matrix.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a value built by [`MeTcfMatrix::from_csr`].
+    pub fn to_csr(&self) -> Result<CsrMatrix, FormatError> {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for w in 0..self.num_windows() {
+            for t in self.window_blocks(w) {
+                let cols = self.block_cols(t);
+                let (ids, vals) = self.block_entries(t);
+                for (&id, &v) in ids.iter().zip(vals) {
+                    let local_row = (id / BLOCK_WIDTH as u8) as usize;
+                    let local_col = (id % BLOCK_WIDTH as u8) as usize;
+                    triplets.push((
+                        w * WINDOW_HEIGHT + local_row,
+                        cols[local_col] as usize,
+                        v,
+                    ));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            33,
+            40,
+            &[
+                (0, 1, 1.0),
+                (0, 20, 2.0),
+                (3, 1, 3.0),
+                (15, 39, 4.0),
+                (16, 0, 5.0),
+                (31, 0, 6.0),
+                (32, 32, 7.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn array_lengths() {
+        let m = MeTcfMatrix::from_csr(&sample());
+        assert_eq!(m.row_window_offset().len(), m.num_windows() + 1);
+        assert_eq!(m.tc_offset().len(), m.num_tc_blocks() + 1);
+        assert_eq!(m.tc_local_id().len(), m.nnz());
+        assert_eq!(m.sparse_a_to_b().len(), m.num_tc_blocks() * BLOCK_WIDTH);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = sample();
+        let m = MeTcfMatrix::from_csr(&a);
+        assert_eq!(m.to_csr().unwrap(), a);
+    }
+
+    #[test]
+    fn matches_condensed_block_count() {
+        let a = sample();
+        let c = Condensed::from_csr(&a);
+        let m = MeTcfMatrix::from_condensed(&c);
+        assert_eq!(m.num_tc_blocks(), c.num_tc_blocks());
+        assert_eq!(m.mean_nnz_tc(), c.mean_nnz_tc());
+        assert_eq!(m.window_block_counts(), c.window_block_counts());
+    }
+
+    #[test]
+    fn index_elements_formula() {
+        let m = MeTcfMatrix::from_csr(&sample());
+        let expect = 33u64.div_ceil(16) + 9 * m.num_tc_blocks() as u64 + 7 / 4 + 2;
+        assert_eq!(m.index_elements(), expect);
+    }
+
+    #[test]
+    fn metcf_cheaper_than_tcf() {
+        use crate::TcfMatrix;
+        // A larger random-ish matrix: ME-TCF must beat TCF on index memory.
+        let t: Vec<(usize, usize, f32)> =
+            (0..2000).map(|i| ((i * 7) % 300, (i * 13) % 300, 1.0)).collect();
+        let a = CsrMatrix::from_triplets(300, 300, &t).unwrap();
+        let me = MeTcfMatrix::from_csr(&a);
+        let tcf = TcfMatrix::from_csr(&a).unwrap();
+        assert!(me.index_elements() < tcf.index_elements());
+    }
+
+    #[test]
+    fn block_cols_strip_padding() {
+        let a = CsrMatrix::from_triplets(16, 100, &[(0, 10, 1.0), (2, 50, 2.0)]).unwrap();
+        let m = MeTcfMatrix::from_csr(&a);
+        assert_eq!(m.block_cols(0), &[10, 50]);
+    }
+
+    #[test]
+    fn local_ids_are_within_block_bounds() {
+        let m = MeTcfMatrix::from_csr(&sample());
+        for &id in m.tc_local_id() {
+            assert!(id < 128);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Matrix Market (`.mtx`) I/O — so the library can load real SuiteSparse
+//! matrices (the paper's corpus is distributed in this format) and export
+//! generated stand-ins.
+//!
+//! Supports the `matrix coordinate` variants: `real` / `integer` /
+//! `pattern` values with `general` / `symmetric` / `skew-symmetric`
+//! symmetry. `pattern` entries read as 1.0; symmetric entries are mirrored.
+
+use crate::{CsrMatrix, FormatError};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Value field of an MTX header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MtxField {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// Symmetry of an MTX header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MtxSymmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Parses a Matrix Market stream into CSR.
+///
+/// Pass any reader — a mutable reference works for readers you want to keep.
+///
+/// # Errors
+///
+/// Returns [`FormatError::NotSupported`] for malformed headers, unsupported
+/// variants (`array`, `complex`, `hermitian`), or syntax errors, and
+/// [`FormatError::IndexOutOfBounds`] for entries outside the declared shape.
+///
+/// # Example
+///
+/// ```
+/// use dtc_formats::mtx::read_mtx;
+///
+/// let text = "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 2.5\n3 2 -1\n";
+/// let m = read_mtx(text.as_bytes())?;
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.to_dense().get(2, 1), -1.0);
+/// # Ok::<(), dtc_formats::FormatError>(())
+/// ```
+pub fn read_mtx<R: Read>(reader: R) -> Result<CsrMatrix, FormatError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    // Header line.
+    let header = lines
+        .next()
+        .ok_or_else(|| FormatError::NotSupported("empty mtx stream".into()))?
+        .map_err(|e| FormatError::NotSupported(format!("io error reading mtx: {e}")))?;
+    let head: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
+    if head.len() != 5 || head[0] != "%%matrixmarket" || head[1] != "matrix" {
+        return Err(FormatError::NotSupported(format!("bad mtx header: {header}")));
+    }
+    if head[2] != "coordinate" {
+        return Err(FormatError::NotSupported(format!("only coordinate mtx supported, got {}", head[2])));
+    }
+    let field = match head[3].as_str() {
+        "real" => MtxField::Real,
+        "integer" => MtxField::Integer,
+        "pattern" => MtxField::Pattern,
+        other => return Err(FormatError::NotSupported(format!("unsupported mtx field {other}"))),
+    };
+    let symmetry = match head[4].as_str() {
+        "general" => MtxSymmetry::General,
+        "symmetric" => MtxSymmetry::Symmetric,
+        "skew-symmetric" => MtxSymmetry::SkewSymmetric,
+        other => return Err(FormatError::NotSupported(format!("unsupported mtx symmetry {other}"))),
+    };
+
+    // Size line (first non-comment line).
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(|e| FormatError::NotSupported(format!("io error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(trimmed.to_owned());
+        break;
+    }
+    let size_line =
+        size_line.ok_or_else(|| FormatError::NotSupported("mtx stream has no size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| FormatError::NotSupported(format!("bad size line: {size_line}"))))
+        .collect::<Result<_, _>>()?;
+    let [rows, cols, nnz] = dims[..] else {
+        return Err(FormatError::NotSupported(format!("bad size line: {size_line}")));
+    };
+
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(nnz);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(|e| FormatError::NotSupported(format!("io error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut tok = trimmed.split_whitespace();
+        let parse_idx = |t: Option<&str>| -> Result<usize, FormatError> {
+            t.and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| FormatError::NotSupported(format!("bad entry line: {trimmed}")))
+        };
+        let r = parse_idx(tok.next())?;
+        let c = parse_idx(tok.next())?;
+        if r == 0 || c == 0 {
+            return Err(FormatError::NotSupported("mtx indices are 1-based".into()));
+        }
+        let v = match field {
+            MtxField::Pattern => 1.0f32,
+            MtxField::Real | MtxField::Integer => tok
+                .next()
+                .and_then(|s| s.parse::<f32>().ok())
+                .ok_or_else(|| FormatError::NotSupported(format!("bad value in: {trimmed}")))?,
+        };
+        let (r, c) = (r - 1, c - 1);
+        if r >= rows || c >= cols {
+            return Err(FormatError::IndexOutOfBounds { row: r, col: c, rows, cols });
+        }
+        triplets.push((r, c, v));
+        match symmetry {
+            MtxSymmetry::General => {}
+            MtxSymmetry::Symmetric if r != c => triplets.push((c, r, v)),
+            MtxSymmetry::SkewSymmetric if r != c => triplets.push((c, r, -v)),
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(FormatError::NotSupported(format!(
+            "mtx declared {nnz} entries but contained {seen}"
+        )));
+    }
+    CsrMatrix::from_triplets(rows, cols, &triplets)
+}
+
+/// Reads an `.mtx` file from disk.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`FormatError::NotSupported`] plus all
+/// [`read_mtx`] errors.
+pub fn read_mtx_file<P: AsRef<Path>>(path: P) -> Result<CsrMatrix, FormatError> {
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| FormatError::NotSupported(format!("cannot open mtx file: {e}")))?;
+    read_mtx(file)
+}
+
+/// Writes a matrix as `matrix coordinate real general`.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`FormatError::NotSupported`].
+pub fn write_mtx<W: Write>(mut writer: W, a: &CsrMatrix) -> Result<(), FormatError> {
+    let io_err = |e: std::io::Error| FormatError::NotSupported(format!("mtx write failed: {e}"));
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general").map_err(io_err)?;
+    writeln!(writer, "% written by dtc-spmm").map_err(io_err)?;
+    writeln!(writer, "{} {} {}", a.rows(), a.cols(), a.nnz()).map_err(io_err)?;
+    for (r, c, v) in a.iter() {
+        writeln!(writer, "{} {} {v}", r + 1, c + 1).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Writes an `.mtx` file to disk.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`FormatError::NotSupported`].
+pub fn write_mtx_file<P: AsRef<Path>>(path: P, a: &CsrMatrix) -> Result<(), FormatError> {
+    let file = std::fs::File::create(path.as_ref())
+        .map_err(|e| FormatError::NotSupported(format!("cannot create mtx file: {e}")))?;
+    write_mtx(std::io::BufWriter::new(file), a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn parse_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n2 3 3\n1 1 1.5\n2 3 -2\n1 2 4e-1\n";
+        let m = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!((m.rows(), m.cols(), m.nnz()), (2, 3, 3));
+        assert_eq!(m.to_dense().get(0, 1), 0.4);
+    }
+
+    #[test]
+    fn parse_symmetric_mirrors() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 1\n";
+        let m = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.to_dense().get(0, 1), 5.0);
+        assert_eq!(m.to_dense().get(1, 0), 5.0);
+    }
+
+    #[test]
+    fn parse_skew_symmetric_negates() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3\n";
+        let m = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(m.to_dense().get(0, 1), -3.0);
+    }
+
+    #[test]
+    fn parse_pattern_as_ones() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n";
+        let m = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(m.values(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_mtx("not a header\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_mtx("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+        assert!(read_mtx(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n".as_bytes()
+        )
+        .is_err());
+        // Entry count mismatch.
+        assert!(read_mtx(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n".as_bytes()
+        )
+        .is_err());
+        // Out-of-range entry.
+        assert!(read_mtx(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n".as_bytes()
+        )
+        .is_err());
+        // Zero (0-based) index.
+        assert!(read_mtx(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let a = gen::power_law(64, 64, 4.0, 2.2, 17);
+        let mut buf = Vec::new();
+        write_mtx(&mut buf, &a).unwrap();
+        let back = read_mtx(buf.as_slice()).unwrap();
+        assert_eq!(back.rows(), a.rows());
+        assert_eq!(back.nnz(), a.nnz());
+        assert!(back.to_dense().max_abs_diff(&a.to_dense()) < 1e-5);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = gen::uniform(32, 32, 100, 18);
+        let path = std::env::temp_dir().join("dtc_spmm_mtx_test.mtx");
+        write_mtx_file(&path, &a).unwrap();
+        let back = read_mtx_file(&path).unwrap();
+        assert_eq!(back.nnz(), a.nnz());
+        let _ = std::fs::remove_file(&path);
+    }
+}

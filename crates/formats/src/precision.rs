@@ -1,0 +1,178 @@
+//! Tensor-Core input precisions.
+//!
+//! The paper targets TF32 ("a more favorable alternative to FP32") but
+//! closes by noting its "insights and optimizations can be extended to
+//! support other precisions". This module provides the three TC input
+//! precisions relevant to SpMM — TF32, FP16 and BF16 — as rounding
+//! functions plus their Tensor-Core throughput multipliers.
+
+use crate::tf32::round_to_tf32;
+use serde::{Deserialize, Serialize};
+
+/// A Tensor-Core multiplicand precision. Accumulation is FP32 in all cases
+/// (the `*.f32.<in>.<in>.f32` `mma` variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Precision {
+    /// 8-bit exponent, 10-bit mantissa (FP32 range, reduced precision) —
+    /// the paper's choice for GNN and scientific workloads.
+    #[default]
+    Tf32,
+    /// IEEE half: 5-bit exponent, 10-bit mantissa. Twice the TC throughput
+    /// of TF32, but overflows beyond ±65504.
+    Fp16,
+    /// bfloat16: 8-bit exponent, 7-bit mantissa. Twice the TC throughput,
+    /// FP32 range, coarser mantissa.
+    Bf16,
+}
+
+impl Precision {
+    /// Rounds an `f32` to this precision's representable set (returned as
+    /// `f32`, the way TC inputs are materialized before conversion).
+    #[inline]
+    pub fn round(self, x: f32) -> f32 {
+        match self {
+            Precision::Tf32 => round_to_tf32(x),
+            Precision::Fp16 => round_to_fp16(x),
+            Precision::Bf16 => round_to_bf16(x),
+        }
+    }
+
+    /// Worst-case relative rounding error (half a ULP of the mantissa).
+    pub fn unit_roundoff(self) -> f32 {
+        match self {
+            Precision::Tf32 | Precision::Fp16 => 1.0 / 2048.0, // 10-bit mantissa
+            Precision::Bf16 => 1.0 / 256.0,                    // 7-bit mantissa
+        }
+    }
+
+    /// Tensor-Core throughput relative to TF32 (Ampere/Ada: FP16/BF16 run
+    /// at twice the TF32 rate).
+    pub fn tc_throughput_multiplier(self) -> f64 {
+        match self {
+            Precision::Tf32 => 1.0,
+            Precision::Fp16 | Precision::Bf16 => 2.0,
+        }
+    }
+
+    /// Display name matching the PTX modifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::Tf32 => "tf32",
+            Precision::Fp16 => "f16",
+            Precision::Bf16 => "bf16",
+        }
+    }
+}
+
+/// Rounds through IEEE binary16 (round-to-nearest-even), returning the
+/// value as `f32`. Overflow saturates to ±inf; subnormals flush to zero
+/// (the Tensor-Core behaviour).
+#[inline]
+pub fn round_to_fp16(x: f32) -> f32 {
+    if !x.is_finite() {
+        return x;
+    }
+    let bits = x.to_bits();
+    let sign = bits & 0x8000_0000;
+    let abs = f32::from_bits(bits & 0x7FFF_FFFF);
+    if abs == 0.0 {
+        return f32::from_bits(sign); // preserve signed zero
+    }
+    // Magnitude beyond f16 max rounds to infinity.
+    if abs >= 65520.0 {
+        return f32::from_bits(sign | 0x7F80_0000);
+    }
+    // Subnormal range of f16: flush to zero (TC behaviour).
+    if abs < 6.103_515_6e-5 {
+        return f32::from_bits(sign);
+    }
+    // Normal range: RNE on the 13 dropped mantissa bits — identical
+    // machinery to TF32 (both keep 10 mantissa bits).
+    round_to_tf32(x)
+}
+
+/// Rounds to bfloat16 (round-to-nearest-even on the low 16 bits).
+#[inline]
+pub fn round_to_bf16(x: f32) -> f32 {
+    if !x.is_finite() {
+        return x;
+    }
+    let bits = x.to_bits();
+    let halfway = 1u32 << 15;
+    let truncated = bits & 0xFFFF_0000;
+    let rem = bits & 0xFFFF;
+    let round_up = rem > halfway || (rem == halfway && (bits >> 16) & 1 == 1);
+    let rounded = if round_up { truncated.wrapping_add(1 << 16) } else { truncated };
+    f32::from_bits(rounded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_survive_everywhere() {
+        for p in [Precision::Tf32, Precision::Fp16, Precision::Bf16] {
+            for v in [0.0f32, 1.0, -2.0, 0.5, 64.0] {
+                assert_eq!(p.round(v), v, "{p:?} {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_overflows_to_infinity() {
+        assert_eq!(round_to_fp16(1e6), f32::INFINITY);
+        assert_eq!(round_to_fp16(-1e6), f32::NEG_INFINITY);
+        // TF32 and BF16 keep FP32 range.
+        assert!(Precision::Tf32.round(1e6).is_finite());
+        assert!(Precision::Bf16.round(1e6).is_finite());
+    }
+
+    #[test]
+    fn fp16_flushes_subnormals() {
+        assert_eq!(round_to_fp16(1e-6), 0.0);
+        assert_eq!(round_to_fp16(-1e-6), -0.0);
+        assert!(round_to_fp16(-1e-6).is_sign_negative());
+    }
+
+    #[test]
+    fn bf16_keeps_7_mantissa_bits() {
+        for i in 1..500 {
+            let x = (i as f32).ln() + 1.0;
+            let r = round_to_bf16(x);
+            assert_eq!(r.to_bits() & 0xFFFF, 0, "x={x}");
+            let rel = ((x - r) / x).abs();
+            assert!(rel <= Precision::Bf16.unit_roundoff(), "x={x} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn bf16_coarser_than_tf32() {
+        let mut bf_worse = 0;
+        for i in 1..1000 {
+            let x = (i as f32).sqrt() * 1.37;
+            let e_tf = (Precision::Tf32.round(x) - x).abs();
+            let e_bf = (Precision::Bf16.round(x) - x).abs();
+            if e_bf > e_tf {
+                bf_worse += 1;
+            }
+            assert!(e_bf + 1e-12 >= e_tf, "bf16 cannot beat tf32 at {x}");
+        }
+        assert!(bf_worse > 500, "bf16 should usually be coarser ({bf_worse})");
+    }
+
+    #[test]
+    fn throughput_multipliers() {
+        assert_eq!(Precision::Tf32.tc_throughput_multiplier(), 1.0);
+        assert_eq!(Precision::Fp16.tc_throughput_multiplier(), 2.0);
+        assert_eq!(Precision::Bf16.tc_throughput_multiplier(), 2.0);
+    }
+
+    #[test]
+    fn non_finite_passthrough() {
+        for p in [Precision::Tf32, Precision::Fp16, Precision::Bf16] {
+            assert!(p.round(f32::NAN).is_nan());
+            assert_eq!(p.round(f32::INFINITY), f32::INFINITY);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+use crate::{Condensed, CsrMatrix, FormatError, WINDOW_HEIGHT};
+use serde::{Deserialize, Serialize};
+
+/// TC-GNN's <u>T</u>C-GNN-<u>C</u>ompressed-<u>F</u>ormat (TCF, §2.3).
+///
+/// Five arrays describe an SGT-condensed matrix:
+///
+/// - `block_partition[w]` — number of TC blocks in row window `w`;
+/// - `node_pointer[r]` — start of row `r`'s entries (CSR-like row offsets);
+/// - `edge_list[i]` — original column index of non-zero `i`;
+/// - `edge_to_column[i]` — compressed column index of non-zero `i`;
+/// - `edge_to_row[i]` — row index of non-zero `i`.
+///
+/// Observation 1 of the paper: this costs `⌈M/16⌉ + M + 1 + 3·NNZ` 32-bit
+/// elements (values excluded) — on average 168 % more than CSR.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcfMatrix {
+    rows: usize,
+    cols: usize,
+    block_partition: Vec<u32>,
+    node_pointer: Vec<usize>,
+    edge_list: Vec<u32>,
+    edge_to_column: Vec<u32>,
+    edge_to_row: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl TcfMatrix {
+    /// Builds TCF from a CSR matrix (TC-GNN requires square matrices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::NotSupported`] for non-square inputs, matching
+    /// TC-GNN's documented limitation (§5, *Datasets*).
+    pub fn from_csr(a: &CsrMatrix) -> Result<Self, FormatError> {
+        if a.rows() != a.cols() {
+            return Err(FormatError::NotSupported(format!(
+                "TCGNN requires square matrices, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let condensed = Condensed::from_csr(a);
+        Ok(Self::from_condensed(a, &condensed))
+    }
+
+    /// Builds TCF from a CSR matrix and its precomputed condensed form.
+    pub(crate) fn from_condensed(a: &CsrMatrix, condensed: &Condensed) -> Self {
+        let rows = a.rows();
+        let block_partition: Vec<u32> =
+            condensed.window_block_counts().iter().map(|&b| b as u32).collect();
+        // Per-nnz arrays in row-major (CSR) order.
+        let mut edge_list = Vec::with_capacity(a.nnz());
+        let mut edge_to_column = vec![0u32; a.nnz()];
+        let mut edge_to_row = Vec::with_capacity(a.nnz());
+        let mut values = Vec::with_capacity(a.nnz());
+        for (r, c, v) in a.iter() {
+            edge_list.push(c as u32);
+            edge_to_row.push(r as u32);
+            values.push(v);
+        }
+        // Fill compressed columns by looking up each entry's window.
+        let mut idx = 0usize;
+        for r in 0..rows {
+            let w = condensed.window(r / WINDOW_HEIGHT);
+            let (cols, _) = a.row_entries(r);
+            for &c in cols {
+                let comp = w.unique_cols.binary_search(&c).expect("column present in window");
+                edge_to_column[idx] = comp as u32;
+                idx += 1;
+            }
+        }
+        TcfMatrix {
+            rows,
+            cols: a.cols(),
+            block_partition,
+            node_pointer: a.row_ptr().to_vec(),
+            edge_list,
+            edge_to_column,
+            edge_to_row,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.edge_list.len()
+    }
+
+    /// Per-window TC-block counts (*blockpartition*).
+    pub fn block_partition(&self) -> &[u32] {
+        &self.block_partition
+    }
+
+    /// Row offsets (*nodePointer*).
+    pub fn node_pointer(&self) -> &[usize] {
+        &self.node_pointer
+    }
+
+    /// Original column per non-zero (*edgeList*).
+    pub fn edge_list(&self) -> &[u32] {
+        &self.edge_list
+    }
+
+    /// Compressed column per non-zero (*edgeToColumn*).
+    pub fn edge_to_column(&self) -> &[u32] {
+        &self.edge_to_column
+    }
+
+    /// Row index per non-zero (*edgeToRow*).
+    pub fn edge_to_row(&self) -> &[u32] {
+        &self.edge_to_row
+    }
+
+    /// Non-zero values, aligned with `edge_list`.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Total TC blocks.
+    pub fn num_tc_blocks(&self) -> usize {
+        self.block_partition.iter().map(|&b| b as usize).sum()
+    }
+
+    /// Index-array element count in 32-bit units (Observation 1):
+    /// `⌈M/16⌉ + M + 1 + 3·NNZ`.
+    pub fn index_elements(&self) -> u64 {
+        self.rows.div_ceil(WINDOW_HEIGHT) as u64
+            + self.rows as u64
+            + 1
+            + 3 * self.nnz() as u64
+    }
+
+    /// Reconstructs the original CSR matrix.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a value produced by [`TcfMatrix::from_csr`].
+    pub fn to_csr(&self) -> Result<CsrMatrix, FormatError> {
+        let triplets: Vec<(usize, usize, f32)> = self
+            .edge_to_row
+            .iter()
+            .zip(&self.edge_list)
+            .zip(&self.values)
+            .map(|((&r, &c), &v)| (r as usize, c as usize, v))
+            .collect();
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            20,
+            20,
+            &[(0, 5, 1.0), (1, 5, 2.0), (2, 11, 3.0), (17, 0, 4.0), (19, 19, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = CsrMatrix::from_triplets(4, 5, &[(0, 0, 1.0)]).unwrap();
+        assert!(matches!(TcfMatrix::from_csr(&a), Err(FormatError::NotSupported(_))));
+    }
+
+    #[test]
+    fn arrays_have_documented_lengths() {
+        let a = sample();
+        let t = TcfMatrix::from_csr(&a).unwrap();
+        assert_eq!(t.block_partition().len(), 20usize.div_ceil(16));
+        assert_eq!(t.node_pointer().len(), 21);
+        assert_eq!(t.edge_list().len(), 5);
+        assert_eq!(t.edge_to_column().len(), 5);
+        assert_eq!(t.edge_to_row().len(), 5);
+    }
+
+    #[test]
+    fn index_elements_formula() {
+        let t = TcfMatrix::from_csr(&sample()).unwrap();
+        assert_eq!(t.index_elements(), 2 + 20 + 1 + 3 * 5);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = sample();
+        let t = TcfMatrix::from_csr(&a).unwrap();
+        assert_eq!(t.to_csr().unwrap(), a);
+    }
+
+    #[test]
+    fn compressed_columns_match_condensed() {
+        let a = sample();
+        let t = TcfMatrix::from_csr(&a).unwrap();
+        // Rows 0 and 1 share column 5 -> same compressed column.
+        assert_eq!(t.edge_to_column()[0], t.edge_to_column()[1]);
+        // Window 0 has unique cols {5, 11}: col 5 -> 0, col 11 -> 1.
+        assert_eq!(t.edge_to_column()[0], 0);
+        assert_eq!(t.edge_to_column()[2], 1);
+    }
+}

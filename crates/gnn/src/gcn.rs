@@ -1,0 +1,222 @@
+//! A two-layer GCN with explicit forward/backward passes (eq. (2)):
+//! `H1 = ReLU((A × X) × W1 + b1)`, `logits = (A × H1) × W2 + b2`.
+
+use crate::backend::GnnBackend;
+use crate::ops::{log_softmax, nll_loss, relu, relu_grad, softmax_minus_onehot};
+use dtc_formats::{DenseMatrix, FormatError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The model parameters.
+#[derive(Debug, Clone)]
+pub struct Gcn {
+    /// Layer-1 weight (`features × hidden`).
+    pub w1: DenseMatrix,
+    /// Layer-1 bias (`hidden`).
+    pub b1: Vec<f32>,
+    /// Layer-2 weight (`hidden × classes`).
+    pub w2: DenseMatrix,
+    /// Layer-2 bias (`classes`).
+    pub b2: Vec<f32>,
+}
+
+/// Gradients matching [`Gcn`]'s parameters.
+#[derive(Debug, Clone)]
+pub struct GcnGradients {
+    /// Gradient of `w1`.
+    pub w1: DenseMatrix,
+    /// Gradient of `b1`.
+    pub b1: Vec<f32>,
+    /// Gradient of `w2`.
+    pub w2: DenseMatrix,
+    /// Gradient of `b2`.
+    pub b2: Vec<f32>,
+}
+
+impl Gcn {
+    /// Xavier-ish random initialization.
+    pub fn new(features: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let init = |rows: usize, cols: usize, rng: &mut StdRng| {
+            let scale = (2.0 / (rows + cols) as f32).sqrt();
+            DenseMatrix::from_fn(rows, cols, |_, _| rng.random_range(-scale..scale))
+        };
+        let w1 = init(features, hidden, &mut rng);
+        let w2 = init(hidden, classes, &mut rng);
+        Gcn { w1, b1: vec![0.0; hidden], w2, b2: vec![0.0; classes] }
+    }
+
+    /// Forward + backward pass through the given SpMM backend; returns the
+    /// loss and parameter gradients. Performs 2 forward SpMMs and 1
+    /// transposed backward SpMM — the per-epoch sparse workload the time
+    /// accounting charges.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend dimension mismatches.
+    pub fn loss_and_grads(
+        &self,
+        backend: &dyn GnnBackend,
+        x: &DenseMatrix,
+        labels: &[usize],
+    ) -> Result<(f32, GcnGradients), FormatError> {
+        // Forward.
+        let ah0 = backend.spmm(false, x)?; // SpMM 1 (N = features)
+        let z1 = add_bias(&ah0.matmul(&self.w1)?, &self.b1);
+        let h1 = relu(&z1);
+        let ah1 = backend.spmm(false, &h1)?; // SpMM 2 (N = hidden)
+        let logits = add_bias(&ah1.matmul(&self.w2)?, &self.b2);
+        let loss = nll_loss(&log_softmax(&logits), labels);
+
+        // Backward.
+        let dlogits = softmax_minus_onehot(&logits, labels);
+        let dw2 = ah1.transposed().matmul(&dlogits)?;
+        let db2 = col_sums(&dlogits);
+        let dah1 = dlogits.matmul(&self.w2.transposed())?;
+        let dh1 = backend.spmm(true, &dah1)?; // SpMM 3 (transposed, N = hidden)
+        let dz1 = relu_grad(&z1, &dh1);
+        let dw1 = ah0.transposed().matmul(&dz1)?;
+        let db1 = col_sums(&dz1);
+
+        Ok((loss, GcnGradients { w1: dw1, b1: db1, w2: dw2, b2: db2 }))
+    }
+
+    /// SGD step.
+    pub fn apply(&mut self, grads: &GcnGradients, lr: f32) {
+        sgd(&mut self.w1, &grads.w1, lr);
+        sgd(&mut self.w2, &grads.w2, lr);
+        for (b, g) in self.b1.iter_mut().zip(&grads.b1) {
+            *b -= lr * g;
+        }
+        for (b, g) in self.b2.iter_mut().zip(&grads.b2) {
+            *b -= lr * g;
+        }
+    }
+
+    /// Inference: predicted class per node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend dimension mismatches.
+    pub fn predict(
+        &self,
+        backend: &dyn GnnBackend,
+        x: &DenseMatrix,
+    ) -> Result<Vec<usize>, FormatError> {
+        let ah0 = backend.spmm(false, x)?;
+        let h1 = relu(&add_bias(&ah0.matmul(&self.w1)?, &self.b1));
+        let ah1 = backend.spmm(false, &h1)?;
+        let logits = add_bias(&ah1.matmul(&self.w2)?, &self.b2);
+        Ok((0..logits.rows())
+            .map(|r| {
+                logits
+                    .row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect())
+    }
+}
+
+fn add_bias(x: &DenseMatrix, bias: &[f32]) -> DenseMatrix {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        for (v, b) in out.row_mut(r).iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+    out
+}
+
+fn col_sums(x: &DenseMatrix) -> Vec<f32> {
+    let mut out = vec![0.0; x.cols()];
+    for r in 0..x.rows() {
+        for (o, &v) in out.iter_mut().zip(x.row(r)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+fn sgd(w: &mut DenseMatrix, g: &DenseMatrix, lr: f32) {
+    for (wv, gv) in w.as_mut_slice().iter_mut().zip(g.as_slice()) {
+        *wv -= lr * gv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DglGnnBackend;
+    use dtc_formats::gen::community;
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let a = community(24, 24, 2, 3.0, 0.8, 9);
+        let backend = DglGnnBackend::new(&a);
+        let x = DenseMatrix::from_fn(24, 4, |r, c| ((r * 5 + c * 3) % 7) as f32 * 0.2 - 0.5);
+        let labels: Vec<usize> = (0..24).map(|r| r % 3).collect();
+        let gcn = Gcn::new(4, 6, 3, 7);
+        let (_, grads) = gcn.loss_and_grads(&backend, &x, &labels).unwrap();
+        // Check a few w1 and w2 entries against central differences.
+        let eps = 1e-2f32;
+        for &(r, c) in &[(0usize, 0usize), (2, 3), (3, 5)] {
+            let mut gp = gcn.clone();
+            gp.w1.set(r, c, gcn.w1.get(r, c) + eps);
+            let (lp, _) = gp.loss_and_grads(&backend, &x, &labels).unwrap();
+            let mut gm = gcn.clone();
+            gm.w1.set(r, c, gcn.w1.get(r, c) - eps);
+            let (lm, _) = gm.loss_and_grads(&backend, &x, &labels).unwrap();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grads.w1.get(r, c)).abs() < 0.02,
+                "w1[{r},{c}]: fd={fd} analytic={}",
+                grads.w1.get(r, c)
+            );
+        }
+        for &(r, c) in &[(0usize, 0usize), (4, 2)] {
+            let mut gp = gcn.clone();
+            gp.w2.set(r, c, gcn.w2.get(r, c) + eps);
+            let (lp, _) = gp.loss_and_grads(&backend, &x, &labels).unwrap();
+            let mut gm = gcn.clone();
+            gm.w2.set(r, c, gcn.w2.get(r, c) - eps);
+            let (lm, _) = gm.loss_and_grads(&backend, &x, &labels).unwrap();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grads.w2.get(r, c)).abs() < 0.02,
+                "w2[{r},{c}]: fd={fd} analytic={}",
+                grads.w2.get(r, c)
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let a = community(48, 48, 4, 4.0, 0.85, 10);
+        let backend = DglGnnBackend::new(&a);
+        let x = DenseMatrix::from_fn(48, 6, |r, c| ((r + c) % 4) as f32 * 0.3);
+        let labels: Vec<usize> = (0..48).map(|r| (r / 12) % 4).collect();
+        let mut gcn = Gcn::new(6, 8, 4, 3);
+        let (first, _) = gcn.loss_and_grads(&backend, &x, &labels).unwrap();
+        for _ in 0..30 {
+            let (_, grads) = gcn.loss_and_grads(&backend, &x, &labels).unwrap();
+            gcn.apply(&grads, 0.2);
+        }
+        let (last, _) = gcn.loss_and_grads(&backend, &x, &labels).unwrap();
+        assert!(last < first, "loss went {first} -> {last}");
+    }
+
+    #[test]
+    fn predict_shapes() {
+        let a = community(32, 32, 2, 3.0, 0.8, 11);
+        let backend = DglGnnBackend::new(&a);
+        let x = DenseMatrix::ones(32, 5);
+        let gcn = Gcn::new(5, 4, 3, 1);
+        let preds = gcn.predict(&backend, &x).unwrap();
+        assert_eq!(preds.len(), 32);
+        assert!(preds.iter().all(|&p| p < 3));
+    }
+}

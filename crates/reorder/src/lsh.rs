@@ -1,0 +1,140 @@
+//! Banded Locality-Sensitive Hashing over MinHash signatures: candidate
+//! row-pair generation for the priority-queue merging of Algorithm 1.
+
+use crate::MinHasher;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// LSH banding parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LshParams {
+    /// Number of bands the signature is cut into.
+    pub bands: usize,
+    /// Signature components per band (`bands * rows_per_band <= k`).
+    pub rows_per_band: usize,
+    /// Cap on the number of items paired within one bucket (large buckets
+    /// pair consecutively instead of quadratically).
+    pub max_bucket_pairs: usize,
+}
+
+impl Default for LshParams {
+    fn default() -> Self {
+        // 2-row bands: a pair with Jaccard J collides in a band with
+        // probability J^2, so even the weakly similar rows of 2-nnz
+        // molecule graphs (J ~ 1/3) surface as candidates.
+        LshParams { bands: 16, rows_per_band: 2, max_bucket_pairs: 48 }
+    }
+}
+
+/// Generates candidate similar pairs among `items` (each item is an index
+/// set, e.g. a row's columns) via banded LSH over MinHash signatures.
+///
+/// Returns deduplicated `(i, j)` pairs with `i < j`. Items whose sets are
+/// empty never enter any bucket.
+pub fn lsh_candidate_pairs(
+    hasher: &MinHasher,
+    signatures: &[Vec<u64>],
+    params: &LshParams,
+) -> Vec<(usize, usize)> {
+    let k = hasher.k();
+    assert!(
+        params.bands * params.rows_per_band <= k,
+        "banding needs bands*rows_per_band <= k ({} * {} > {k})",
+        params.bands,
+        params.rows_per_band,
+    );
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for band in 0..params.bands {
+        let lo = band * params.rows_per_band;
+        let hi = lo + params.rows_per_band;
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (idx, sig) in signatures.iter().enumerate() {
+            let slice = &sig[lo..hi];
+            if slice.iter().all(|&s| s == u64::MAX) {
+                continue; // empty set
+            }
+            let mut h = DefaultHasher::new();
+            slice.hash(&mut h);
+            buckets.entry(h.finish()).or_default().push(idx);
+        }
+        for members in buckets.values() {
+            if members.len() < 2 {
+                continue;
+            }
+            if members.len() * (members.len() - 1) / 2 <= params.max_bucket_pairs {
+                for (a_pos, &a) in members.iter().enumerate() {
+                    for &b in &members[a_pos + 1..] {
+                        pairs.push((a.min(b), a.max(b)));
+                    }
+                }
+            } else {
+                // Large bucket: chain consecutive members (linear work).
+                for w in members.windows(2) {
+                    pairs.push((w[0].min(w[1]), w[0].max(w[1])));
+                }
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signatures_for(hasher: &MinHasher, sets: &[Vec<u32>]) -> Vec<Vec<u64>> {
+        sets.iter().map(|s| hasher.signature(s)).collect()
+    }
+
+    #[test]
+    fn identical_sets_are_candidates() {
+        let h = MinHasher::new(32, 1);
+        let sets = vec![vec![1, 2, 3], vec![100, 200], vec![1, 2, 3]];
+        let sigs = signatures_for(&h, &sets);
+        let pairs = lsh_candidate_pairs(&h, &sigs, &LshParams::default());
+        assert!(pairs.contains(&(0, 2)), "pairs={pairs:?}");
+    }
+
+    #[test]
+    fn disjoint_sets_rarely_pair() {
+        let h = MinHasher::new(32, 2);
+        let sets: Vec<Vec<u32>> = (0..20).map(|i| vec![i * 100, i * 100 + 1]).collect();
+        let sigs = signatures_for(&h, &sets);
+        let pairs = lsh_candidate_pairs(&h, &sigs, &LshParams::default());
+        // With 4-row bands the chance of a spurious collision is tiny.
+        assert!(pairs.len() <= 2, "pairs={pairs:?}");
+    }
+
+    #[test]
+    fn empty_sets_never_pair() {
+        let h = MinHasher::new(32, 3);
+        let sets = vec![vec![], vec![], vec![1u32]];
+        let sigs = signatures_for(&h, &sets);
+        let pairs = lsh_candidate_pairs(&h, &sigs, &LshParams::default());
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn pairs_are_canonical_and_deduped() {
+        let h = MinHasher::new(32, 4);
+        let sets = vec![vec![5, 6, 7]; 4];
+        let sigs = signatures_for(&h, &sets);
+        let pairs = lsh_candidate_pairs(&h, &sigs, &LshParams::default());
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(pairs, sorted);
+        assert!(pairs.iter().all(|&(i, j)| i < j));
+    }
+
+    #[test]
+    #[should_panic(expected = "banding needs")]
+    fn oversized_banding_panics() {
+        let h = MinHasher::new(8, 5);
+        let sigs: Vec<Vec<u64>> = vec![];
+        lsh_candidate_pairs(&h, &sigs, &LshParams { bands: 4, rows_per_band: 4, max_bucket_pairs: 8 });
+    }
+}

@@ -1,0 +1,114 @@
+//! MinHash signatures over row column-sets.
+//!
+//! The paper accelerates these on GPU with MinHashCuda (§6); here they run
+//! on the CPU with the same algorithmic role: a `k`-component signature per
+//! row whose component-wise match probability equals the Jaccard
+//! similarity.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const MERSENNE_PRIME: u64 = (1 << 61) - 1;
+
+/// A family of `k` universal hash functions producing MinHash signatures.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    coeff_a: Vec<u64>,
+    coeff_b: Vec<u64>,
+}
+
+impl MinHasher {
+    /// Creates a hasher with `k` signature components from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "need at least one hash function");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coeff_a = (0..k).map(|_| rng.random_range(1..MERSENNE_PRIME)).collect();
+        let coeff_b = (0..k).map(|_| rng.random_range(0..MERSENNE_PRIME)).collect();
+        MinHasher { coeff_a, coeff_b }
+    }
+
+    /// Number of signature components.
+    pub fn k(&self) -> usize {
+        self.coeff_a.len()
+    }
+
+    /// Signature of an index set. Empty sets produce all-`u64::MAX`
+    /// signatures (the sentinel [`crate::jaccard_estimate`] never matches).
+    pub fn signature(&self, set: &[u32]) -> Vec<u64> {
+        let mut sig = vec![u64::MAX; self.k()];
+        for &x in set {
+            for (i, slot) in sig.iter_mut().enumerate() {
+                let h = (self.coeff_a[i]
+                    .wrapping_mul(x as u64 + 1)
+                    .wrapping_add(self.coeff_b[i]))
+                    % MERSENNE_PRIME;
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        sig
+    }
+
+    /// Combines two signatures into the signature of the *union* of the
+    /// underlying sets (component-wise min) — used by Hierarchy II to get
+    /// cluster signatures without re-hashing.
+    pub fn union_signature(a: &[u64], b: &[u64]) -> Vec<u64> {
+        assert_eq!(a.len(), b.len(), "signature length mismatch");
+        a.iter().zip(b).map(|(&x, &y)| x.min(y)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard_estimate;
+
+    #[test]
+    fn identical_sets_identical_signatures() {
+        let h = MinHasher::new(32, 1);
+        let s1 = h.signature(&[1, 5, 9, 200]);
+        let s2 = h.signature(&[1, 5, 9, 200]);
+        assert_eq!(s1, s2);
+        assert_eq!(jaccard_estimate(&s1, &s2), 1.0);
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        let h = MinHasher::new(256, 7);
+        // Sets with true Jaccard 1/3: {0..20} vs {10..30}.
+        let a: Vec<u32> = (0..20).collect();
+        let b: Vec<u32> = (10..30).collect();
+        let est = jaccard_estimate(&h.signature(&a), &h.signature(&b));
+        assert!((est - 1.0 / 3.0).abs() < 0.12, "est={est}");
+    }
+
+    #[test]
+    fn empty_set_sentinel() {
+        let h = MinHasher::new(8, 2);
+        assert!(h.signature(&[]).iter().all(|&s| s == u64::MAX));
+    }
+
+    #[test]
+    fn union_signature_matches_direct_hash() {
+        let h = MinHasher::new(64, 3);
+        let a: Vec<u32> = vec![1, 2, 3];
+        let b: Vec<u32> = vec![3, 4, 5];
+        let u: Vec<u32> = vec![1, 2, 3, 4, 5];
+        assert_eq!(
+            MinHasher::union_signature(&h.signature(&a), &h.signature(&b)),
+            h.signature(&u)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s1 = MinHasher::new(8, 1).signature(&[1, 2, 3]);
+        let s2 = MinHasher::new(8, 2).signature(&[1, 2, 3]);
+        assert_ne!(s1, s2);
+    }
+}

@@ -1,0 +1,179 @@
+use serde::{Deserialize, Serialize};
+
+/// A GPU device model: SM count, per-SM pipe throughputs, latencies, the
+/// memory hierarchy, and clocks.
+///
+/// Throughputs are *warp-instruction issue rates per SM per cycle*; HMMA
+/// throughput is in `m16n8k8`-equivalent TF32 instructions. The numbers for
+/// the presets are derived from the architecture whitepapers the paper
+/// cites ([40, 41]) and the microbenchmark studies it relies on ([25, 48]):
+/// HMMA latency 16.0 cycles and `shfl_sync` latency 10.7 cycles are quoted
+/// verbatim in §4.4.1.
+///
+/// # Example
+///
+/// ```
+/// use dtc_sim::Device;
+///
+/// let ada = Device::rtx4090();
+/// assert_eq!(ada.num_sms, 128);
+/// // Tweak a field to model a hypothetical part.
+/// let mut fat_l2 = ada.clone();
+/// fat_l2.l2_bytes *= 2;
+/// assert!(fat_l2.l2_bytes > ada.l2_bytes);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Marketing name, e.g. `"RTX4090"`.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// SM clock in GHz.
+    pub sm_clock_ghz: f64,
+    /// L2 cache capacity in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity (ways per set).
+    pub l2_ways: usize,
+    /// Memory-transaction sector size in bytes (32 on both presets, §4.4.1).
+    pub sector_bytes: u32,
+    /// DRAM bandwidth in GB/s.
+    pub dram_bw_gbps: f64,
+    /// Global memory capacity in bytes (for OOM modeling).
+    pub global_mem_bytes: u64,
+    /// TF32 Tensor-Core throughput: `m16n8k8`-equivalent HMMA per SM per cycle.
+    pub tc_hmma_per_cycle: f64,
+    /// INT32 ALU throughput: warp IMAD per SM per cycle.
+    pub alu_ops_per_cycle: f64,
+    /// FP32 CUDA-core throughput: warp FFMA per SM per cycle.
+    pub fp32_ops_per_cycle: f64,
+    /// LSU throughput: 32-byte sectors served per SM per cycle.
+    pub lsu_sectors_per_cycle: f64,
+    /// Shared-memory throughput: warp LDS/STS per SM per cycle.
+    pub smem_ops_per_cycle: f64,
+    /// Warp-shuffle throughput per SM per cycle.
+    pub shfl_ops_per_cycle: f64,
+    /// Global-memory load latency in cycles.
+    pub mem_latency_cycles: f64,
+    /// HMMA instruction latency in cycles (16.0 on RTX4090, §4.4.1).
+    pub hmma_latency_cycles: f64,
+    /// `shfl_sync` latency in cycles (10.7 on RTX4090, §4.4.1).
+    pub shfl_latency_cycles: f64,
+    /// Fixed thread-block launch/teardown overhead in cycles.
+    pub tb_launch_overhead_cycles: f64,
+    /// Atomic-add throughput penalty: cycles per warp atomic.
+    pub atomic_cost_cycles: f64,
+}
+
+impl Device {
+    /// RTX4090 (Ada Lovelace, CC 8.9): 128 SMs, 72 MB L2, 1008 GB/s GDDR6X,
+    /// 24 GB — the paper's primary evaluation GPU.
+    pub fn rtx4090() -> Self {
+        Device {
+            name: "RTX4090".to_owned(),
+            num_sms: 128,
+            sm_clock_ghz: 2.52,
+            l2_bytes: 72 * 1024 * 1024,
+            l2_ways: 16,
+            sector_bytes: 32,
+            dram_bw_gbps: 1008.0,
+            global_mem_bytes: 24 * 1024 * 1024 * 1024,
+            tc_hmma_per_cycle: 0.125,
+            alu_ops_per_cycle: 2.0,
+            fp32_ops_per_cycle: 4.0,
+            lsu_sectors_per_cycle: 4.0,
+            smem_ops_per_cycle: 4.0,
+            shfl_ops_per_cycle: 1.0,
+            mem_latency_cycles: 430.0,
+            hmma_latency_cycles: 16.0,
+            shfl_latency_cycles: 10.7,
+            tb_launch_overhead_cycles: 600.0,
+            atomic_cost_cycles: 4.0,
+        }
+    }
+
+    /// RTX3090 (Ampere, CC 8.6): 82 SMs, 6 MB L2, 936 GB/s GDDR6X, 24 GB.
+    pub fn rtx3090() -> Self {
+        Device {
+            name: "RTX3090".to_owned(),
+            num_sms: 82,
+            sm_clock_ghz: 1.695,
+            l2_bytes: 6 * 1024 * 1024,
+            l2_ways: 16,
+            sector_bytes: 32,
+            dram_bw_gbps: 936.0,
+            global_mem_bytes: 24 * 1024 * 1024 * 1024,
+            tc_hmma_per_cycle: 0.125,
+            alu_ops_per_cycle: 2.0,
+            fp32_ops_per_cycle: 4.0,
+            lsu_sectors_per_cycle: 4.0,
+            smem_ops_per_cycle: 4.0,
+            shfl_ops_per_cycle: 1.0,
+            mem_latency_cycles: 470.0,
+            hmma_latency_cycles: 17.0,
+            shfl_latency_cycles: 11.0,
+            tb_launch_overhead_cycles: 600.0,
+            atomic_cost_cycles: 5.0,
+        }
+    }
+
+    /// DRAM bandwidth expressed in bytes per SM-clock cycle (whole device).
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bw_gbps * 1e9 / (self.sm_clock_ghz * 1e9)
+    }
+
+    /// Peak TF32 Tensor-Core throughput of the whole device in GFLOPS
+    /// (one `m16n8k8` = 2·16·8·8 = 2048 FLOP).
+    pub fn peak_tc_gflops(&self) -> f64 {
+        self.tc_hmma_per_cycle * 2048.0 * self.num_sms as f64 * self.sm_clock_ghz
+    }
+
+    /// Peak FP32 CUDA-core throughput of the whole device in GFLOPS
+    /// (one warp FFMA = 64 FLOP).
+    pub fn peak_fp32_gflops(&self) -> f64 {
+        self.fp32_ops_per_cycle * 64.0 * self.num_sms as f64 * self.sm_clock_ghz
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Device::rtx4090()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_expected() {
+        let ada = Device::rtx4090();
+        let ampere = Device::rtx3090();
+        assert!(ada.num_sms > ampere.num_sms);
+        assert!(ada.l2_bytes > ampere.l2_bytes);
+        assert!(ada.sm_clock_ghz > ampere.sm_clock_ghz);
+        assert_eq!(ada.sector_bytes, 32);
+    }
+
+    #[test]
+    fn peak_rates_plausible() {
+        let ada = Device::rtx4090();
+        // RTX4090 TF32 peak is ~82.6 TFLOPS; our model should be within 2x.
+        let tflops = ada.peak_tc_gflops() / 1000.0;
+        assert!(tflops > 40.0 && tflops < 200.0, "tflops={tflops}");
+        // FP32 peak ~82 TFLOPS (dual-issue counted once here, so ~41).
+        let fp32 = ada.peak_fp32_gflops() / 1000.0;
+        assert!(fp32 > 20.0 && fp32 < 100.0, "fp32={fp32}");
+    }
+
+    #[test]
+    fn dram_bytes_per_cycle_positive() {
+        assert!(Device::rtx4090().dram_bytes_per_cycle() > 100.0);
+    }
+
+    #[test]
+    fn paper_quoted_latencies() {
+        let ada = Device::rtx4090();
+        assert_eq!(ada.hmma_latency_cycles, 16.0);
+        assert!((ada.shfl_latency_cycles - 10.7).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,174 @@
+//! Event-driven thread-block execution — a finer-grained alternative to
+//! the closed-form model in [`crate::tb_duration_cycles`].
+//!
+//! The kernel main loop (Alg. 2) is replayed iteration by iteration:
+//! sparse-A fetches either block the iteration (no double buffering) or
+//! run ahead asynchronously (`cp.async`, §4.4.2) while Tensor-Core compute
+//! of the previous tile proceeds; dense-B fetches always face their load
+//! latency (no global-to-register prefetch exists, §4.4.2). The two
+//! models are validated against each other in the test suite — they must
+//! agree on every *ordering* the paper's figures rely on.
+
+use crate::{Device, TbWork};
+
+/// Computes one thread block's duration in cycles by replaying its main
+/// loop event by event.
+///
+/// `occupancy` and `warps_per_tb` play the same roles as in
+/// [`crate::tb_duration_cycles_with_occ`]; per-iteration work is the
+/// block's aggregate work divided by `iters`.
+pub fn tb_duration_event_driven(
+    device: &Device,
+    occupancy: usize,
+    warps_per_tb: usize,
+    tb: &TbWork,
+    l2_hit_rate: f64,
+) -> f64 {
+    let occ = occupancy.max(1) as f64;
+    let issue_cap = ((occ * warps_per_tb.max(1) as f64) / 16.0).min(1.0);
+    let share = |throughput: f64| -> f64 { throughput / occ * issue_cap };
+
+    let iters = tb.iters.round().max(1.0) as usize;
+    let n = iters as f64;
+    // Per-iteration issue costs, cycles.
+    let alu_i = tb.alu_ops / n / share(device.alu_ops_per_cycle);
+    let fp_i = tb.fp_ops / n / share(device.fp32_ops_per_cycle);
+    let smem_i = tb.smem_ops / n / share(device.smem_ops_per_cycle);
+    let shfl_i = tb.shfl_ops / n / share(device.shfl_ops_per_cycle);
+    let lsu_a_i = tb.lsu_a_sectors / n / share(device.lsu_sectors_per_cycle);
+    let lsu_b_i = tb.lsu_b_sectors / n / share(device.lsu_sectors_per_cycle);
+    let tc_i = tb.hmma_ops / n / share(device.tc_hmma_per_cycle);
+
+    // Effective load latency after L2 hits, hidden across resident warps.
+    let hide = (occ * warps_per_tb.max(1) as f64 / 2.0).max(1.0);
+    let latency = (device.mem_latency_cycles * (1.0 - l2_hit_rate)
+        + device.mem_latency_cycles / 8.0 * l2_hit_rate)
+        / hide;
+
+    let mut t = device.tb_launch_overhead_cycles / occ;
+    // Prologue: first sparse tile fetch (Alg. 2 line 7).
+    let mut a_ready = t + lsu_a_i + if tb.lsu_a_sectors > 0.0 { latency } else { 0.0 };
+    t += lsu_a_i; // issue cost is paid either way
+
+    for i in 0..iters {
+        // The sparse tile this iteration computes on was fetched earlier.
+        let cur_a_ready = a_ready;
+        // VFetchDense: issue B loads; their data is needed by the mma.
+        t += lsu_b_i;
+        let b_ready = t + if tb.lsu_b_sectors > 0.0 { latency } else { 0.0 };
+        // Coordinate computation and staging for this iteration.
+        t += alu_i + fp_i + smem_i + shfl_i;
+        // FetchSpAsync for the *next* iteration (double buffering): issue
+        // now, completes in the background while this tile computes.
+        if i + 1 < iters && tb.overlap_a_fetch {
+            t += lsu_a_i;
+            a_ready = t + latency;
+        }
+        // Wait for this iteration's operands, then Tensor-Core compute.
+        t = t.max(b_ready).max(cur_a_ready);
+        t += tc_i;
+        // Synchronous A fetch for the next iteration (no double buffering):
+        // issue + latency serialize after compute.
+        if i + 1 < iters && !tb.overlap_a_fetch {
+            t += lsu_a_i + latency;
+            a_ready = t;
+        }
+    }
+    // Epilogue: C write-back and atomics.
+    t += tb.epilogue_sectors / share(device.lsu_sectors_per_cycle)
+        + tb.atom_ops * device.atomic_cost_cycles;
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tb_duration_cycles_with_occ;
+
+    fn loop_tb(overlap: bool) -> TbWork {
+        TbWork {
+            alu_ops: 400.0,
+            lsu_a_sectors: 600.0,
+            lsu_b_sectors: 1600.0,
+            smem_ops: 100.0,
+            hmma_ops: 800.0,
+            hmma_count: 1600.0,
+            epilogue_sectors: 64.0,
+            iters: 40.0,
+            overlap_a_fetch: overlap,
+            ..TbWork::default()
+        }
+    }
+
+    #[test]
+    fn double_buffering_helps_in_both_models() {
+        let device = Device::rtx4090();
+        for hit in [0.0, 0.5, 0.9] {
+            let plain_e = tb_duration_event_driven(&device, 6, 8, &loop_tb(false), hit);
+            let dbuf_e = tb_duration_event_driven(&device, 6, 8, &loop_tb(true), hit);
+            assert!(dbuf_e < plain_e, "event: {dbuf_e} vs {plain_e} at hit {hit}");
+            let plain_a = tb_duration_cycles_with_occ(&device, 6, 8, &loop_tb(false), hit);
+            let dbuf_a = tb_duration_cycles_with_occ(&device, 6, 8, &loop_tb(true), hit);
+            assert!(dbuf_a < plain_a, "analytic: {dbuf_a} vs {plain_a}");
+        }
+    }
+
+    #[test]
+    fn models_agree_within_a_small_factor() {
+        // The closed-form model is a smoothed version of the replay; they
+        // must agree within ~2x across workload mixes.
+        let device = Device::rtx4090();
+        for (alu, lsu_b, hmma, iters) in [
+            (100.0, 400.0, 200.0, 10.0),
+            (5000.0, 100.0, 50.0, 100.0),
+            (10.0, 8000.0, 100.0, 25.0),
+            (10.0, 100.0, 9000.0, 50.0),
+        ] {
+            let tb = TbWork {
+                alu_ops: alu,
+                lsu_b_sectors: lsu_b,
+                hmma_ops: hmma,
+                hmma_count: hmma,
+                iters,
+                ..TbWork::default()
+            };
+            let e = tb_duration_event_driven(&device, 6, 8, &tb, 0.5);
+            let a = tb_duration_cycles_with_occ(&device, 6, 8, &tb, 0.5);
+            let ratio = e / a;
+            assert!(
+                (0.4..=2.5).contains(&ratio),
+                "models diverge: event={e} analytic={a} ratio={ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_dominates_short_loops() {
+        // One iteration with a cold load: duration at least one latency.
+        let device = Device::rtx4090();
+        let tb = TbWork { lsu_b_sectors: 4.0, iters: 1.0, ..TbWork::default() };
+        let d = tb_duration_event_driven(&device, 1, 8, &tb, 0.0);
+        assert!(d > device.mem_latency_cycles / 4.0, "d={d}");
+    }
+
+    #[test]
+    fn empty_block_costs_launch_overhead_only() {
+        let device = Device::rtx4090();
+        let d = tb_duration_event_driven(&device, 1, 8, &TbWork::default(), 0.5);
+        assert!((d - device.tb_launch_overhead_cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_iterations_cost_more_latency_without_prefetch() {
+        // Same total work split into more iterations = more exposed
+        // latencies when not double buffered.
+        let device = Device::rtx4090();
+        let mut few = loop_tb(false);
+        few.iters = 5.0;
+        let mut many = loop_tb(false);
+        many.iters = 80.0;
+        let d_few = tb_duration_event_driven(&device, 6, 8, &few, 0.0);
+        let d_many = tb_duration_event_driven(&device, 6, 8, &many, 0.0);
+        assert!(d_many > d_few, "many={d_many} few={d_few}");
+    }
+}

@@ -1,0 +1,107 @@
+use serde::{Deserialize, Serialize};
+
+/// The per-thread-block work descriptor a kernel implementation lowers to.
+///
+/// All `*_ops` fields are warp-level instruction counts for the whole
+/// thread block; `*_sectors` fields are 32-byte global-memory transactions.
+/// `hmma_ops` is in `m16n8k8`-equivalent units (time), while `hmma_count`
+/// is the raw executed-instruction count used for the `#IMAD/#HMMA` ratio
+/// (e.g. one `m16n8k4` contributes 0.5 to `hmma_ops` but 1.0 to
+/// `hmma_count`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TbWork {
+    /// Warp IMAD / integer-ALU instructions (coordinate computation).
+    pub alu_ops: f64,
+    /// Warp FFMA CUDA-core instructions (for CUDA-core kernels).
+    pub fp_ops: f64,
+    /// Global sectors fetched for the sparse operand A.
+    pub lsu_a_sectors: f64,
+    /// Global sectors fetched for the dense operand B.
+    pub lsu_b_sectors: f64,
+    /// Shared-memory warp instructions (STS + LDS staging).
+    pub smem_ops: f64,
+    /// Tensor-Core work in `m16n8k8`-equivalents (determines TC-pipe time).
+    pub hmma_ops: f64,
+    /// Raw HMMA instruction count (for the `#IMAD/#HMMA` metric).
+    pub hmma_count: f64,
+    /// Raw IMAD instruction count (defaults to `alu_ops` when lowering).
+    pub imad_count: f64,
+    /// Warp shuffle instructions (`shfl_sync` transposes).
+    pub shfl_ops: f64,
+    /// Global sectors written for the output C (plus balanced-kernel extras).
+    pub epilogue_sectors: f64,
+    /// Warp atomic operations (strict-balance accumulation).
+    pub atom_ops: f64,
+    /// Main-loop iterations — used for dependency-stall modeling.
+    pub iters: f64,
+    /// Sparse-A fetch is prefetched with `cp.async` double buffering and
+    /// overlaps Tensor-Core compute (§4.4.2).
+    pub overlap_a_fetch: bool,
+    /// Recorded B-access sector addresses for L2 simulation (optional;
+    /// only populated when the caller wants a cache simulation).
+    #[serde(skip)]
+    pub b_sector_addrs: Vec<u64>,
+}
+
+/// A lowered kernel: one [`TbWork`] per thread block plus launch-wide
+/// configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelTrace {
+    /// Thread blocks in launch (block-index) order.
+    pub tbs: Vec<TbWork>,
+    /// Thread blocks resident per SM (the paper measures 6 for DTC-SpMM).
+    pub occupancy: usize,
+    /// Warps per thread block.
+    pub warps_per_tb: usize,
+    /// L2 hit rate assumed for B traffic when the cache is not simulated.
+    pub assumed_l2_hit_rate: f64,
+}
+
+impl KernelTrace {
+    /// Creates an empty trace with the given occupancy and warp count.
+    pub fn new(occupancy: usize, warps_per_tb: usize) -> Self {
+        KernelTrace { tbs: Vec::new(), occupancy, warps_per_tb, assumed_l2_hit_rate: 0.5 }
+    }
+
+    /// Appends a thread block (defaulting `imad_count` to `alu_ops` when
+    /// the caller left it zero but issued ALU work).
+    pub fn push(&mut self, mut tb: TbWork) {
+        if tb.imad_count == 0.0 && tb.alu_ops > 0.0 {
+            tb.imad_count = tb.alu_ops;
+        }
+        self.tbs.push(tb);
+    }
+
+    /// Number of thread blocks.
+    pub fn num_tbs(&self) -> usize {
+        self.tbs.len()
+    }
+
+    /// Total Tensor-Core work across all blocks (`m16n8k8`-equivalents).
+    pub fn total_hmma_ops(&self) -> f64 {
+        self.tbs.iter().map(|tb| tb.hmma_ops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_defaults_imad_count() {
+        let mut t = KernelTrace::new(6, 8);
+        t.push(TbWork { alu_ops: 42.0, ..TbWork::default() });
+        assert_eq!(t.tbs[0].imad_count, 42.0);
+        t.push(TbWork { alu_ops: 42.0, imad_count: 7.0, ..TbWork::default() });
+        assert_eq!(t.tbs[1].imad_count, 7.0);
+    }
+
+    #[test]
+    fn totals() {
+        let mut t = KernelTrace::new(6, 8);
+        t.push(TbWork { hmma_ops: 1.5, ..TbWork::default() });
+        t.push(TbWork { hmma_ops: 2.5, ..TbWork::default() });
+        assert_eq!(t.num_tbs(), 2);
+        assert_eq!(t.total_hmma_ops(), 4.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Occupancy calculation: how many thread blocks fit on one SM given the
+//! kernel's resource usage.
+//!
+//! The paper's Selector hinges on the measured occupancy of the DTC-SpMM
+//! kernel ("The occupancy of the DTC-SpMM kernel on RTX4090 is 6, meaning
+//! that one SM can run 6 thread blocks concurrently", §4.5.2). This module
+//! reproduces the CUDA occupancy rules — register, shared-memory, warp and
+//! block limits — so kernel configurations can derive their occupancy
+//! instead of hard-coding it.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-SM resource limits (Ampere/Ada values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmResources {
+    /// 32-bit registers per SM.
+    pub registers: u32,
+    /// Shared memory bytes per SM available to kernels.
+    pub shared_memory: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks: u32,
+    /// Register allocation granularity (per warp).
+    pub register_granularity: u32,
+    /// Shared-memory allocation granularity (bytes).
+    pub smem_granularity: u32,
+}
+
+impl SmResources {
+    /// Ada Lovelace (RTX4090) per-SM limits.
+    pub fn ada() -> Self {
+        SmResources {
+            registers: 65_536,
+            shared_memory: 100 * 1024,
+            max_warps: 48,
+            max_blocks: 24,
+            register_granularity: 256,
+            smem_granularity: 128,
+        }
+    }
+
+    /// Ampere (RTX3090) per-SM limits.
+    pub fn ampere() -> Self {
+        SmResources {
+            registers: 65_536,
+            shared_memory: 100 * 1024,
+            max_warps: 48,
+            max_blocks: 16,
+            register_granularity: 256,
+            smem_granularity: 128,
+        }
+    }
+}
+
+/// Resource usage of one kernel's thread block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelResources {
+    /// Warps per thread block.
+    pub warps_per_block: u32,
+    /// Registers per thread.
+    pub registers_per_thread: u32,
+    /// Static + dynamic shared memory per block, bytes.
+    pub shared_memory_per_block: u32,
+}
+
+impl KernelResources {
+    /// The DTC-SpMM runtime kernel configuration: 8 warps, moderate
+    /// register pressure from the `mma` fragments and remapping, and two
+    /// sparse-A double buffers in shared memory — yielding occupancy 6 on
+    /// the Ada limits, as the paper measures.
+    pub fn dtc_spmm() -> Self {
+        KernelResources {
+            warps_per_block: 8,
+            registers_per_thread: 40,
+            shared_memory_per_block: 12 * 1024,
+        }
+    }
+
+    /// TCGNN-SpMM: WMMA staging buffers for B tiles push shared memory
+    /// high enough to cap occupancy at ~4.
+    pub fn tcgnn_spmm() -> Self {
+        KernelResources {
+            warps_per_block: 8,
+            registers_per_thread: 48,
+            shared_memory_per_block: 24 * 1024,
+        }
+    }
+}
+
+fn round_up(value: u32, granularity: u32) -> u32 {
+    value.div_ceil(granularity.max(1)) * granularity.max(1)
+}
+
+/// Computes the occupancy (resident thread blocks per SM) of a kernel.
+///
+/// Returns 0 when a single block cannot fit at all.
+pub fn occupancy(sm: &SmResources, kernel: &KernelResources) -> u32 {
+    let warps = kernel.warps_per_block.max(1);
+    // Warp limit.
+    let by_warps = sm.max_warps / warps;
+    // Register limit: registers allocate per warp at a granularity.
+    let regs_per_warp = round_up(kernel.registers_per_thread * 32, sm.register_granularity);
+    let by_regs = sm
+        .registers
+        .checked_div(regs_per_warp)
+        .map_or(sm.max_blocks, |warp_budget| warp_budget / warps);
+    // Shared-memory limit.
+    let smem = round_up(kernel.shared_memory_per_block, sm.smem_granularity);
+    let by_smem = sm.shared_memory.checked_div(smem).unwrap_or(sm.max_blocks);
+    by_warps.min(by_regs).min(by_smem).min(sm.max_blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtc_kernel_occupancy_is_six_on_ada() {
+        // §4.5.2: "The occupancy of the DTC-SpMM kernel on RTX4090 is 6".
+        assert_eq!(occupancy(&SmResources::ada(), &KernelResources::dtc_spmm()), 6);
+    }
+
+    #[test]
+    fn tcgnn_occupancy_is_lower() {
+        let tcgnn = occupancy(&SmResources::ada(), &KernelResources::tcgnn_spmm());
+        let dtc = occupancy(&SmResources::ada(), &KernelResources::dtc_spmm());
+        assert!(tcgnn < dtc, "tcgnn={tcgnn} dtc={dtc}");
+        assert_eq!(tcgnn, 4);
+    }
+
+    #[test]
+    fn warp_limit_binds_for_tiny_kernels() {
+        let k = KernelResources {
+            warps_per_block: 2,
+            registers_per_thread: 16,
+            shared_memory_per_block: 0,
+        };
+        // 48 warps / 2 = 24, capped by max_blocks = 24.
+        assert_eq!(occupancy(&SmResources::ada(), &k), 24);
+    }
+
+    #[test]
+    fn register_limit_binds_for_fat_kernels() {
+        let k = KernelResources {
+            warps_per_block: 4,
+            registers_per_thread: 255,
+            shared_memory_per_block: 0,
+        };
+        // 255*32 -> 8192 regs/warp; 65536/8192 = 8 warps -> 2 blocks.
+        assert_eq!(occupancy(&SmResources::ada(), &k), 2);
+    }
+
+    #[test]
+    fn smem_limit_binds_for_buffer_heavy_kernels() {
+        let k = KernelResources {
+            warps_per_block: 4,
+            registers_per_thread: 32,
+            shared_memory_per_block: 48 * 1024,
+        };
+        assert_eq!(occupancy(&SmResources::ada(), &k), 2);
+    }
+
+    #[test]
+    fn oversized_block_yields_zero() {
+        let k = KernelResources {
+            warps_per_block: 64,
+            registers_per_thread: 32,
+            shared_memory_per_block: 0,
+        };
+        assert_eq!(occupancy(&SmResources::ada(), &k), 0);
+    }
+
+    #[test]
+    fn ampere_caps_blocks_lower() {
+        assert!(SmResources::ampere().max_blocks < SmResources::ada().max_blocks);
+    }
+}

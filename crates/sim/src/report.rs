@@ -1,0 +1,101 @@
+use serde::{Deserialize, Serialize};
+
+/// The result of simulating one kernel launch — the counters NVIDIA Nsight
+/// Compute would report on real hardware.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Kernel duration in SM-clock cycles (after the DRAM-bandwidth bound).
+    pub cycles: f64,
+    /// Kernel duration in milliseconds.
+    pub time_ms: f64,
+    /// Per-SM busy cycles (sum of durations of blocks run on each SM) —
+    /// the Fig 3 / Fig 15(b) data.
+    pub sm_busy_cycles: Vec<f64>,
+    /// Per-SM finish time of the last block.
+    pub sm_finish_cycles: Vec<f64>,
+    /// Tensor-Core pipeline utilization in `[0, 1]` (Table 2, Fig 14).
+    pub tc_utilization: f64,
+    /// Total executed IMAD instructions.
+    pub imad_count: f64,
+    /// Total executed HMMA instructions.
+    pub hmma_count: f64,
+    /// The `#IMAD/#HMMA` ratio (`inf` when no HMMA executed).
+    pub imad_per_hmma: f64,
+    /// DRAM traffic in bytes (after L2 filtering).
+    pub dram_bytes: f64,
+    /// Simulated L2 hit rate, when the cache simulation was enabled.
+    pub l2_hit_rate: Option<f64>,
+    /// Number of thread blocks launched.
+    pub num_tbs: usize,
+}
+
+impl SimReport {
+    /// Achieved throughput for a kernel performing `flops` floating-point
+    /// operations, in GFLOPS.
+    pub fn gflops(&self, flops: u64) -> f64 {
+        if self.time_ms <= 0.0 {
+            0.0
+        } else {
+            flops as f64 / (self.time_ms * 1e-3) / 1e9
+        }
+    }
+
+    /// Per-SM relative busy fraction (busy / makespan), the quantity plotted
+    /// in Fig 3 and Fig 15(b). Empty if the kernel launched no blocks.
+    pub fn sm_busy_fractions(&self) -> Vec<f64> {
+        let makespan = self.cycles.max(1e-9);
+        self.sm_busy_cycles.iter().map(|&b| (b / makespan).min(1.0)).collect()
+    }
+
+    /// Fraction of SMs idle more than half the kernel duration — a scalar
+    /// imbalance indicator.
+    pub fn mostly_idle_sm_fraction(&self) -> f64 {
+        let fr = self.sm_busy_fractions();
+        if fr.is_empty() {
+            return 0.0;
+        }
+        fr.iter().filter(|&&f| f < 0.5).count() as f64 / fr.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: f64, busy: Vec<f64>) -> SimReport {
+        SimReport {
+            cycles,
+            time_ms: cycles / 2.52e6,
+            sm_busy_cycles: busy.clone(),
+            sm_finish_cycles: busy,
+            tc_utilization: 0.1,
+            imad_count: 10.0,
+            hmma_count: 5.0,
+            imad_per_hmma: 2.0,
+            dram_bytes: 0.0,
+            l2_hit_rate: None,
+            num_tbs: 1,
+        }
+    }
+
+    #[test]
+    fn gflops_math() {
+        let r = report(2.52e6, vec![1.0]); // exactly 1 ms
+        assert!((r.gflops(2_000_000_000) - 2000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn busy_fractions_capped() {
+        let r = report(100.0, vec![50.0, 100.0, 150.0]);
+        let fr = r.sm_busy_fractions();
+        assert_eq!(fr.len(), 3);
+        assert!((fr[0] - 0.5).abs() < 1e-12);
+        assert_eq!(fr[2], 1.0);
+    }
+
+    #[test]
+    fn idle_fraction() {
+        let r = report(100.0, vec![10.0, 90.0, 20.0, 80.0]);
+        assert!((r.mostly_idle_sm_fraction() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,112 @@
+//! Roofline analysis.
+//!
+//! Observation 1 frames format choice through the roofline model: "As a
+//! memory-bound kernel, the theoretical performance upper-bound of SpMM is
+//! mostly determined by memory access efficiency ... storage formats with
+//! lower memory complexity imply higher computational density and higher
+//! roofline performance upper-bound." This module computes those bounds
+//! from a device model and a kernel's traffic.
+
+use crate::{Device, KernelTrace};
+use serde::{Deserialize, Serialize};
+
+/// A kernel's position on the roofline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Arithmetic intensity: useful FLOP per DRAM byte.
+    pub intensity: f64,
+    /// The roofline bound at that intensity, GFLOPS.
+    pub bound_gflops: f64,
+    /// Whether the bound is the memory slope (true) or the compute roof.
+    pub memory_bound: bool,
+}
+
+/// The attainable-performance roofline of a device at a given arithmetic
+/// intensity (FLOP/byte), against the Tensor-Core compute roof.
+pub fn roofline_gflops(device: &Device, intensity: f64) -> f64 {
+    (device.dram_bw_gbps * intensity).min(device.peak_tc_gflops())
+}
+
+/// The ridge point: the intensity where the memory slope meets the TC roof.
+pub fn ridge_intensity(device: &Device) -> f64 {
+    device.peak_tc_gflops() / device.dram_bw_gbps
+}
+
+/// Evaluates a lowered kernel's roofline position: intensity from the
+/// trace's total DRAM traffic (using its assumed L2 hit rate for B) and
+/// `flops` useful floating-point operations.
+pub fn kernel_roofline(device: &Device, trace: &KernelTrace, flops: u64) -> RooflinePoint {
+    let b_sectors: f64 = trace.tbs.iter().map(|tb| tb.lsu_b_sectors).sum();
+    let other: f64 =
+        trace.tbs.iter().map(|tb| tb.lsu_a_sectors + tb.epilogue_sectors).sum();
+    let bytes = (b_sectors * (1.0 - trace.assumed_l2_hit_rate) + other)
+        * device.sector_bytes as f64;
+    let intensity = if bytes > 0.0 { flops as f64 / bytes } else { f64::INFINITY };
+    let bound = roofline_gflops(device, intensity);
+    RooflinePoint {
+        intensity,
+        bound_gflops: bound,
+        memory_bound: intensity < ridge_intensity(device),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TbWork;
+
+    #[test]
+    fn slope_then_roof() {
+        let d = Device::rtx4090();
+        let ridge = ridge_intensity(&d);
+        // Below the ridge: bandwidth-limited, linear in intensity.
+        assert!((roofline_gflops(&d, ridge / 2.0) - d.dram_bw_gbps * ridge / 2.0).abs() < 1e-6);
+        // Above the ridge: compute roof.
+        assert_eq!(roofline_gflops(&d, ridge * 10.0), d.peak_tc_gflops());
+    }
+
+    #[test]
+    fn spmm_is_memory_bound() {
+        // A CSR-like SpMM reads ~N/8 sectors per nnz for 2N flops per nnz:
+        // intensity ~ 2N / (N*4) = 0.5 flop/byte << ridge (~80).
+        let d = Device::rtx4090();
+        let mut trace = KernelTrace::new(6, 8);
+        trace.assumed_l2_hit_rate = 0.0;
+        let nnz = 10_000u64;
+        let n = 128u64;
+        trace.push(TbWork {
+            lsu_b_sectors: (nnz * n / 8) as f64,
+            lsu_a_sectors: (nnz / 4) as f64,
+            ..TbWork::default()
+        });
+        let point = kernel_roofline(&d, &trace, 2 * n * nnz);
+        assert!(point.memory_bound, "intensity={}", point.intensity);
+        assert!(point.intensity < 1.0);
+    }
+
+    #[test]
+    fn condensing_raises_the_bound() {
+        // Obs. 1/2: fewer B sectors per flop (higher MeanNnzTC) raises the
+        // roofline bound.
+        let d = Device::rtx4090();
+        let flops = 1_000_000u64;
+        let mut sparse_traffic = KernelTrace::new(6, 8);
+        sparse_traffic.assumed_l2_hit_rate = 0.0;
+        sparse_traffic.push(TbWork { lsu_b_sectors: 50_000.0, ..TbWork::default() });
+        let mut dense_traffic = KernelTrace::new(6, 8);
+        dense_traffic.assumed_l2_hit_rate = 0.0;
+        dense_traffic.push(TbWork { lsu_b_sectors: 10_000.0, ..TbWork::default() });
+        let p1 = kernel_roofline(&d, &sparse_traffic, flops);
+        let p2 = kernel_roofline(&d, &dense_traffic, flops);
+        assert!(p2.bound_gflops > p1.bound_gflops);
+    }
+
+    #[test]
+    fn zero_traffic_is_compute_bound() {
+        let d = Device::rtx4090();
+        let trace = KernelTrace::new(6, 8);
+        let p = kernel_roofline(&d, &trace, 100);
+        assert!(!p.memory_bound);
+        assert_eq!(p.bound_gflops, d.peak_tc_gflops());
+    }
+}

@@ -1,0 +1,150 @@
+//! Thread-block scheduling.
+//!
+//! The initial wave is placed with the paper's acknowledged scheduling
+//! policy model (§4.5.2, eq. (1)):
+//!
+//! ```text
+//! sm_idx = 2 * (block_idx mod (num_sms/2)) + (block_idx / (num_sms/2)) mod 2
+//! ```
+//!
+//! (with `num_sms/2 = 64` on the RTX4090, matching the paper exactly).
+//! After the initial wave fills each SM's `occupancy` slots, subsequent
+//! blocks are dispatched in index order to the earliest-finishing free slot
+//! — the greedy refill behaviour the makespan example in Fig 10(c) assumes.
+
+use crate::Device;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of scheduling a sequence of thread blocks.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// Sum of durations of the blocks each SM executed.
+    pub sm_busy_cycles: Vec<f64>,
+    /// Finish time of each SM's last block.
+    pub sm_finish_cycles: Vec<f64>,
+    /// Kernel makespan: max over SMs of the finish time.
+    pub makespan_cycles: f64,
+    /// Which SM each block ran on.
+    pub block_sm: Vec<usize>,
+}
+
+/// The paper's thread-block scheduling policy model (eq. (1)), generalized
+/// from the RTX4090's 128 SMs to any even SM count.
+pub fn sm_for_block(block_idx: usize, num_sms: usize) -> usize {
+    if num_sms <= 1 {
+        return 0;
+    }
+    let half = num_sms / 2;
+    let sm = 2 * (block_idx % half) + (block_idx / half) % 2;
+    sm % num_sms
+}
+
+/// Schedules blocks (with the given per-block durations, in cycles) onto
+/// the device and returns per-SM timelines.
+pub fn schedule(device: &Device, occupancy: usize, durations: &[f64]) -> ScheduleOutcome {
+    let num_sms = device.num_sms;
+    let mut sm_busy = vec![0.0f64; num_sms];
+    let mut sm_finish = vec![0.0f64; num_sms];
+    let mut block_sm = vec![0usize; durations.len()];
+
+    // Min-heap of (finish_time, sm) slots. f64 isn't Ord; use an integer
+    // key in picoseconds-of-cycle resolution to keep the heap total-ordered.
+    let to_key = |t: f64| -> u64 { (t * 1024.0) as u64 };
+    let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+
+    let wave = num_sms * occupancy.max(1);
+    let mut next_block = 0usize;
+    // Initial wave: policy placement.
+    while next_block < durations.len() && next_block < wave {
+        let sm = sm_for_block(next_block, num_sms);
+        let finish = durations[next_block];
+        sm_busy[sm] += durations[next_block];
+        sm_finish[sm] = sm_finish[sm].max(finish);
+        block_sm[next_block] = sm;
+        heap.push(Reverse((to_key(finish), sm, next_block)));
+        next_block += 1;
+    }
+    // Refill: earliest-finishing slot takes the next block.
+    // Track each slot's own finish time by reusing heap entries.
+    while next_block < durations.len() {
+        let Reverse((key, sm, _)) = heap.pop().expect("wave is non-empty");
+        let start = key as f64 / 1024.0;
+        let finish = start + durations[next_block];
+        sm_busy[sm] += durations[next_block];
+        sm_finish[sm] = sm_finish[sm].max(finish);
+        block_sm[next_block] = sm;
+        heap.push(Reverse((to_key(finish), sm, next_block)));
+        next_block += 1;
+    }
+
+    let makespan = sm_finish.iter().cloned().fold(0.0, f64::max);
+    ScheduleOutcome {
+        sm_busy_cycles: sm_busy,
+        sm_finish_cycles: sm_finish,
+        makespan_cycles: makespan,
+        block_sm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_matches_paper_on_rtx4090() {
+        // eq. (1) with 128 SMs: sm = 2*(blk mod 64) + (blk/64 mod 2).
+        for blk in 0..512 {
+            let expect = (2 * (blk % 64) + (blk / 64) % 2) % 128;
+            assert_eq!(sm_for_block(blk, 128), expect, "blk={blk}");
+        }
+    }
+
+    #[test]
+    fn policy_covers_all_sms_in_one_wave() {
+        let mut seen = vec![false; 128];
+        for blk in 0..128 {
+            seen[sm_for_block(blk, 128)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "first 128 blocks must touch all SMs");
+    }
+
+    #[test]
+    fn uniform_blocks_balance() {
+        let device = Device::rtx4090();
+        let durations = vec![100.0; 128 * 12];
+        let out = schedule(&device, 6, &durations);
+        let max = out.sm_busy_cycles.iter().cloned().fold(0.0, f64::max);
+        let min = out.sm_busy_cycles.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max - min).abs() < 1e-9);
+        assert!((out.makespan_cycles - 200.0).abs() < 0.1, "{}", out.makespan_cycles);
+    }
+
+    #[test]
+    fn one_long_block_dominates_makespan() {
+        let device = Device::rtx4090();
+        let mut durations = vec![10.0; 1000];
+        durations[0] = 100_000.0;
+        let out = schedule(&device, 6, &durations);
+        assert!(out.makespan_cycles >= 100_000.0);
+    }
+
+    #[test]
+    fn refill_goes_to_earliest_slot() {
+        // 2-SM toy device.
+        let mut device = Device::rtx4090();
+        device.num_sms = 2;
+        // occupancy 1: blocks 0,1 fill both SMs; block 2 must go to the
+        // faster one (SM of block 1, duration 10).
+        let durations = vec![100.0, 10.0, 5.0];
+        let out = schedule(&device, 1, &durations);
+        assert_eq!(out.block_sm[2], out.block_sm[1]);
+        assert!((out.makespan_cycles - 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let out = schedule(&Device::rtx4090(), 6, &[]);
+        assert_eq!(out.makespan_cycles, 0.0);
+    }
+}

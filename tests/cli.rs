@@ -1,0 +1,90 @@
+//! End-to-end tests of the `dtc` command-line tool, driving the compiled
+//! binary exactly as a user would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dtc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dtc"))
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dtc_cli_test_{name}"))
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = dtc().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn gen_info_bench_pipeline() {
+    let mtx = temp("pipeline.mtx");
+    // gen
+    let out = dtc()
+        .args(["gen", "web", "1024", "8", mtx.to_str().expect("utf8 path")])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
+    // info
+    let out = dtc().args(["info", mtx.to_str().expect("utf8")]).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("MeanNnzTC"));
+    assert!(text.contains("ME-TCF"));
+    assert!(text.contains("1024 x 1024"));
+    // bench
+    let out = dtc()
+        .args(["bench", mtx.to_str().expect("utf8"), "--n", "64"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("DTC-SpMM"));
+    assert!(text.contains("cuSPARSE"));
+    assert!(text.contains("iterations") || text.contains("conversion-free"));
+    let _ = std::fs::remove_file(&mtx);
+}
+
+#[test]
+fn reorder_roundtrip() {
+    let input = temp("reorder_in.mtx");
+    let output = temp("reorder_out.mtx");
+    let ok = dtc()
+        .args(["gen", "community", "512", "10", input.to_str().expect("utf8")])
+        .status()
+        .expect("runs");
+    assert!(ok.success());
+    let out = dtc()
+        .args(["reorder", input.to_str().expect("utf8"), output.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("MeanNnzTC"));
+    // The reordered matrix must parse and keep the nnz count.
+    let a = dtc_spmm::formats::mtx::read_mtx_file(&input).expect("valid");
+    let b = dtc_spmm::formats::mtx::read_mtx_file(&output).expect("valid");
+    assert_eq!(a.nnz(), b.nnz());
+    let _ = std::fs::remove_file(&input);
+    let _ = std::fs::remove_file(&output);
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = dtc().args(["info", "/nonexistent/nowhere.mtx"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn unknown_generator_is_a_clean_error() {
+    let out = dtc()
+        .args(["gen", "fractal", "64", "4", temp("nope.mtx").to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown generator"));
+}

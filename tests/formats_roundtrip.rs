@@ -1,0 +1,100 @@
+//! Property tests: every storage format is a lossless encoding of the
+//! matrix, and SGT condensing preserves the non-zero multiset.
+
+use dtc_spmm::formats::{
+    BellMatrix, Condensed, CooMatrix, CsrMatrix, CvseMatrix, MeTcfMatrix, TcfMatrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small random sparse matrix as (rows, cols, triplets).
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..48, 1usize..48).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            // Values strictly positive: duplicate coordinates sum, and a sum of
+            // zero would be a stored zero BELL/CVSE cannot represent.
+            (0..rows, 0..cols, 0i32..8).prop_map(|(r, c, v)| (r, c, v as f32 * 0.5 + 0.25)),
+            0..120,
+        )
+        .prop_map(move |triplets| {
+            CsrMatrix::from_triplets(rows, cols, &triplets).expect("triplets in range")
+        })
+    })
+}
+
+/// Strategy: a small random *square* matrix (for TCF).
+fn arb_square() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..48).prop_flat_map(|n| {
+        proptest::collection::vec(
+            (0..n, 0..n, 0i32..8).prop_map(|(r, c, v)| (r, c, v as f32 * 0.5 + 0.25)),
+            0..120,
+        )
+        .prop_map(move |triplets| {
+            CsrMatrix::from_triplets(n, n, &triplets).expect("triplets in range")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn coo_csr_roundtrip(a in arb_matrix()) {
+        prop_assert_eq!(&a.to_coo().to_csr(), &a);
+        let coo = CooMatrix::from_triplets(a.rows(), a.cols(), &a.iter().collect::<Vec<_>>())
+            .expect("valid");
+        prop_assert_eq!(&coo.to_csr(), &a);
+    }
+
+    #[test]
+    fn condensed_roundtrip_and_nnz(a in arb_matrix()) {
+        let c = Condensed::from_csr(&a);
+        prop_assert_eq!(c.nnz(), a.nnz());
+        prop_assert_eq!(&c.to_csr().expect("valid"), &a);
+        // Block partition sums to the block count.
+        prop_assert_eq!(c.window_block_counts().iter().sum::<usize>(), c.num_tc_blocks());
+    }
+
+    #[test]
+    fn metcf_roundtrip(a in arb_matrix()) {
+        let m = MeTcfMatrix::from_csr(&a);
+        prop_assert_eq!(&m.to_csr().expect("valid"), &a);
+        prop_assert_eq!(m.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn tcf_roundtrip(a in arb_square()) {
+        let t = TcfMatrix::from_csr(&a).expect("square");
+        prop_assert_eq!(&t.to_csr().expect("valid"), &a);
+    }
+
+    #[test]
+    fn bell_roundtrip(a in arb_matrix()) {
+        for bs in [4usize, 16] {
+            let bell = BellMatrix::from_csr(&a, bs, u64::MAX).expect("no budget");
+            prop_assert_eq!(&bell.to_csr().expect("valid"), &a);
+        }
+    }
+
+    #[test]
+    fn cvse_roundtrip(a in arb_matrix()) {
+        for vlen in [4usize, 8] {
+            let v = CvseMatrix::from_csr(&a, vlen).expect("positive vlen");
+            prop_assert_eq!(&v.to_csr().expect("valid"), &a);
+        }
+    }
+
+    #[test]
+    fn footprint_formulas(a in arb_square()) {
+        let fp = dtc_spmm::formats::footprint::footprint_of(&a);
+        // CSR formula is exact; TCF always exceeds CSR once nnz > 0
+        // (Observation 1); ME-TCF beats TCF whenever blocks average at
+        // least two non-zeros (adversarial 1-nnz-per-block matrices can
+        // invert it — real matrices do not, see dtc-datasets tests).
+        prop_assert_eq!(fp.csr, a.rows() as u64 + 1 + a.nnz() as u64);
+        if a.nnz() > 0 {
+            prop_assert!(fp.tcf > fp.csr);
+        }
+        let blocks = dtc_spmm::formats::Condensed::from_csr(&a).num_tc_blocks();
+        if blocks > 0 && a.nnz() >= 4 * blocks {
+            prop_assert!(fp.metcf <= fp.tcf, "metcf={} tcf={}", fp.metcf, fp.tcf);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests on the Tensor-Core precision emulation: idempotence,
+//! monotonicity, representability relationships, and error bounds.
+
+use dtc_spmm::formats::precision::{round_to_bf16, round_to_fp16, Precision};
+use dtc_spmm::formats::tf32::round_to_tf32;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rounding_is_idempotent(x in -1e30f32..1e30) {
+        for p in [Precision::Tf32, Precision::Fp16, Precision::Bf16] {
+            let once = p.round(x);
+            prop_assert_eq!(p.round(once).to_bits(), once.to_bits(), "{:?} at {}", p, x);
+        }
+    }
+
+    #[test]
+    fn rounding_preserves_sign_and_bounds_error(x in -1e20f32..1e20) {
+        prop_assume!(x != 0.0);
+        for p in [Precision::Tf32, Precision::Bf16] {
+            let r = p.round(x);
+            prop_assert_eq!(r.is_sign_negative(), x.is_sign_negative());
+            let rel = ((x - r) / x).abs();
+            prop_assert!(rel <= p.unit_roundoff(), "{:?}: x={} r={} rel={}", p, x, r, rel);
+        }
+    }
+
+    #[test]
+    fn bf16_values_are_tf32_representable(x in -1e20f32..1e20) {
+        // bf16 keeps 7 mantissa bits, a subset of TF32's 10.
+        let b = round_to_bf16(x);
+        prop_assert_eq!(round_to_tf32(b).to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn fp16_normal_values_are_tf32_representable(x in -60000.0f32..60000.0) {
+        let h = round_to_fp16(x);
+        prop_assume!(h.is_finite());
+        prop_assert_eq!(round_to_tf32(h).to_bits(), h.to_bits());
+    }
+
+    #[test]
+    fn tf32_at_least_as_accurate_as_bf16(x in -1e15f32..1e15) {
+        prop_assume!(x != 0.0);
+        let e_tf = (round_to_tf32(x) - x).abs();
+        let e_bf = (round_to_bf16(x) - x).abs();
+        prop_assert!(e_tf <= e_bf + f32::EPSILON * x.abs());
+    }
+
+    #[test]
+    fn rounding_is_monotone(a in -1e15f32..1e15, b in -1e15f32..1e15) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for p in [Precision::Tf32, Precision::Fp16, Precision::Bf16] {
+            prop_assert!(p.round(lo) <= p.round(hi), "{:?}: {} {}", p, lo, hi);
+        }
+    }
+}

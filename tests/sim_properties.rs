@@ -1,0 +1,119 @@
+//! Property tests on the GPU simulator: scheduling invariants, timing
+//! monotonicity, and conservation laws that must hold for any trace.
+
+use dtc_spmm::sim::{schedule, simulate, Device, KernelTrace, SimOptions, TbWork};
+use proptest::prelude::*;
+
+fn arb_durations() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1.0f64..50_000.0, 0..400)
+}
+
+fn arb_trace() -> impl Strategy<Value = KernelTrace> {
+    (1usize..8, 1usize..16, proptest::collection::vec(
+        (0.0f64..5000.0, 0.0f64..5000.0, 0.0f64..5000.0, 0.0f64..5000.0, any::<bool>()),
+        0..200,
+    ))
+        .prop_map(|(occ, warps, tbs)| {
+            let mut trace = KernelTrace::new(occ, warps);
+            for (alu, lsu_a, lsu_b, hmma, overlap) in tbs {
+                trace.push(TbWork {
+                    alu_ops: alu,
+                    lsu_a_sectors: lsu_a,
+                    lsu_b_sectors: lsu_b,
+                    hmma_ops: hmma,
+                    hmma_count: hmma,
+                    iters: 4.0,
+                    overlap_a_fetch: overlap,
+                    ..TbWork::default()
+                });
+            }
+            trace
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedule_conserves_work(durations in arb_durations()) {
+        let device = Device::rtx4090();
+        let out = schedule(&device, 6, &durations);
+        // Busy time is conserved across SMs.
+        let busy: f64 = out.sm_busy_cycles.iter().sum();
+        let total: f64 = durations.iter().sum();
+        prop_assert!((busy - total).abs() < 1e-6 * total.max(1.0));
+        // Makespan bounds: at least the longest block and at least the
+        // perfectly balanced lower bound over slots.
+        let max = durations.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(out.makespan_cycles + 1e-9 >= max);
+        let slots = (device.num_sms * 6) as f64;
+        prop_assert!(out.makespan_cycles + 1.0 >= total / slots);
+        // Every block landed on a real SM.
+        for &sm in &out.block_sm {
+            prop_assert!(sm < device.num_sms);
+        }
+    }
+
+    #[test]
+    fn makespan_monotone_in_block_duration(mut durations in arb_durations()) {
+        prop_assume!(!durations.is_empty());
+        let device = Device::rtx4090();
+        let before = schedule(&device, 6, &durations).makespan_cycles;
+        durations[0] *= 3.0;
+        let after = schedule(&device, 6, &durations).makespan_cycles;
+        prop_assert!(after + 1e-9 >= before);
+    }
+
+    #[test]
+    fn simulation_time_finite_and_scaling(trace in arb_trace()) {
+        let device = Device::rtx4090();
+        let r = simulate(&device, &trace, &SimOptions::default());
+        prop_assert!(r.time_ms.is_finite());
+        prop_assert!(r.time_ms >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&r.tc_utilization));
+        prop_assert_eq!(r.num_tbs, trace.num_tbs());
+        prop_assert_eq!(r.sm_busy_cycles.len(), device.num_sms);
+
+        // Doubling every block's work cannot make the kernel faster.
+        let mut doubled = KernelTrace::new(trace.occupancy, trace.warps_per_tb);
+        doubled.assumed_l2_hit_rate = trace.assumed_l2_hit_rate;
+        for tb in &trace.tbs {
+            doubled.push(TbWork {
+                alu_ops: tb.alu_ops * 2.0,
+                lsu_a_sectors: tb.lsu_a_sectors * 2.0,
+                lsu_b_sectors: tb.lsu_b_sectors * 2.0,
+                hmma_ops: tb.hmma_ops * 2.0,
+                hmma_count: tb.hmma_count * 2.0,
+                iters: tb.iters,
+                overlap_a_fetch: tb.overlap_a_fetch,
+                ..TbWork::default()
+            });
+        }
+        let r2 = simulate(&device, &doubled, &SimOptions::default());
+        prop_assert!(r2.time_ms + 1e-12 >= r.time_ms);
+    }
+
+    #[test]
+    fn better_l2_hit_never_hurts(trace in arb_trace()) {
+        let device = Device::rtx4090();
+        let mut cold = trace.clone();
+        cold.assumed_l2_hit_rate = 0.0;
+        let mut warm = trace;
+        warm.assumed_l2_hit_rate = 0.95;
+        let rc = simulate(&device, &cold, &SimOptions::default());
+        let rw = simulate(&device, &warm, &SimOptions::default());
+        prop_assert!(rw.time_ms <= rc.time_ms + 1e-12);
+        prop_assert!(rw.dram_bytes <= rc.dram_bytes + 1e-9);
+    }
+
+    #[test]
+    fn slower_device_is_slower(trace in arb_trace()) {
+        prop_assume!(trace.num_tbs() > 0);
+        let ada = Device::rtx4090();
+        let mut slow = ada.clone();
+        slow.sm_clock_ghz /= 2.0;
+        let fast_t = simulate(&ada, &trace, &SimOptions::default()).time_ms;
+        let slow_t = simulate(&slow, &trace, &SimOptions::default()).time_ms;
+        prop_assert!(slow_t + 1e-12 >= fast_t);
+    }
+}
