@@ -84,20 +84,28 @@ impl SpmmKernel for TcgnnSpmm {
         check_spmm_dims(self.rows(), self.cols(), b)?;
         let n = b.cols();
         let mut c = DenseMatrix::zeros(self.rows(), n);
+        if n == 0 {
+            return Ok(c);
+        }
         // Tensor-Core path: multiplicands rounded to TF32, FP32 accumulate.
-        for w in self.condensed.windows() {
+        // One task per 16-row window, exactly the kernel's TB decomposition;
+        // each window writes only its own strip of C, in serial entry order.
+        let windows: Vec<_> = self.condensed.windows().collect();
+        dtc_par::par_chunks_mut(c.as_mut_slice(), 16 * n, |wi, strip| {
+            let w = windows[wi];
+            debug_assert_eq!(w.start_row, wi * 16);
             for block in w.blocks() {
                 for e in block.entries {
-                    let row = w.start_row + e.local_row as usize;
+                    let local_row = e.local_row as usize;
                     let a_v = round_to_tf32(e.value);
                     let b_row = b.row(e.orig_col as usize);
-                    let out = c.row_mut(row);
+                    let out = &mut strip[local_row * n..(local_row + 1) * n];
                     for (o, &bv) in out.iter_mut().zip(b_row) {
                         *o += a_v * round_to_tf32(bv);
                     }
                 }
             }
-        }
+        });
         Ok(c)
     }
 

@@ -1,0 +1,116 @@
+//! Thread-scaling sweep for the `dtc-par` execution layer.
+//!
+//! Runs the full host-side pipeline — ME-TCF conversion, Selector decision,
+//! exact kernel execution — end to end on a representative matrix under a
+//! range of `dtc_par` thread counts, and writes the speedup curve (relative
+//! to the single-thread baseline) to `BENCH_parallel.json`.
+//!
+//! The conversion cache is cleared before every repetition so each run pays
+//! the real conversion cost; a separate pair of timings demonstrates the
+//! cache instead (second build over the same matrix must be ~free).
+
+use dtc_baselines::SpmmKernel;
+use dtc_core::{clear_conversion_cache, conversion_cache_stats, DtcSpmm};
+use dtc_formats::{gen, DenseMatrix};
+use std::time::Instant;
+
+const THREAD_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+const REPS: usize = 3;
+const N: usize = 64;
+
+fn main() {
+    // Representative of the paper's mid-size graph suite: power-law-ish
+    // community structure, ~0.8 M non-zeros over 12 K rows.
+    let rows = 12 * 1024;
+    let a = gen::community(rows, rows, 48, 64.0, 0.9, 2024);
+    let b = DenseMatrix::from_fn(rows, N, |r, c| ((r * 13 + c * 5) % 17) as f32 * 0.25 - 2.0);
+    let host_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    eprintln!(
+        "parallel_scaling: {} x {} matrix, {} nnz, N={}, host threads={}",
+        a.rows(),
+        a.cols(),
+        a.nnz(),
+        N,
+        host_threads
+    );
+
+    // End-to-end time (conversion + selection + execute), best of REPS, per
+    // thread count. Serial first: it is the baseline of the speedup curve.
+    let mut sweep = Vec::new();
+    let mut serial_ms = 0.0f64;
+    for &threads in &THREAD_SWEEP {
+        dtc_par::set_threads(Some(threads));
+        let mut best_total = f64::INFINITY;
+        let mut best_build = f64::INFINITY;
+        let mut best_exec = f64::INFINITY;
+        for _ in 0..REPS {
+            clear_conversion_cache();
+            let t0 = Instant::now();
+            let engine = DtcSpmm::new(&a);
+            let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = Instant::now();
+            let c = engine.execute(&b).expect("execute");
+            let exec_ms = t1.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(c.rows(), rows);
+            let total = build_ms + exec_ms;
+            if total < best_total {
+                best_total = total;
+                best_build = build_ms;
+                best_exec = exec_ms;
+            }
+        }
+        if threads == 1 {
+            serial_ms = best_total;
+        }
+        let speedup = serial_ms / best_total;
+        eprintln!(
+            "  threads={threads:2}: {best_total:8.1} ms (build {best_build:.1} + execute {best_exec:.1})  speedup {speedup:.2}x"
+        );
+        sweep.push((threads, best_total, best_build, best_exec, speedup));
+    }
+    dtc_par::set_threads(None);
+
+    // Conversion-cache demonstration: a repeated build over the same matrix
+    // must skip conversion entirely (observable via the miss counter).
+    clear_conversion_cache();
+    let (_, misses0) = conversion_cache_stats();
+    let t0 = Instant::now();
+    let _first = DtcSpmm::new(&a);
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let _second = DtcSpmm::new(&a);
+    let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let (_, misses1) = conversion_cache_stats();
+    assert_eq!(misses1, misses0 + 1, "second build must not re-convert");
+    eprintln!("  cache: cold build {cold_ms:.1} ms, warm build {warm_ms:.1} ms");
+
+    let max_speedup = sweep.iter().map(|s| s.4).fold(0.0f64, f64::max);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"parallel_scaling\",\n");
+    json.push_str(&format!(
+        "  \"matrix\": {{ \"rows\": {}, \"cols\": {}, \"nnz\": {} }},\n",
+        a.rows(),
+        a.cols(),
+        a.nnz()
+    ));
+    json.push_str(&format!("  \"n\": {N},\n  \"reps\": {REPS},\n"));
+    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    json.push_str(&format!("  \"serial_ms\": {serial_ms:.3},\n"));
+    json.push_str("  \"sweep\": [\n");
+    for (i, (threads, total, build, exec, speedup)) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"threads\": {threads}, \"total_ms\": {total:.3}, \"build_ms\": {build:.3}, \"execute_ms\": {exec:.3}, \"speedup\": {speedup:.3} }}{}\n",
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"max_speedup\": {max_speedup:.3},\n"));
+    json.push_str(&format!(
+        "  \"conversion_cache\": {{ \"cold_build_ms\": {cold_ms:.3}, \"warm_build_ms\": {warm_ms:.3} }}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json (max speedup {max_speedup:.2}x on {host_threads}-thread host)");
+}

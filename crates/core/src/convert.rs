@@ -59,16 +59,10 @@ pub fn convert_to_metcf_parallel(a: &CsrMatrix, threads: usize) -> MeTcfMatrix {
         .filter(|(lo, hi)| lo < hi)
         .collect();
 
-    let partials: Vec<Condensed> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|&(lo, hi)| {
-                scope.spawn(move |_| Condensed::from_csr(&a.sub_rows(lo..hi)))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics in workers")).collect()
-    })
-    .expect("scope does not panic");
+    let partials: Vec<Condensed> = dtc_par::par_map_collect_with(threads, chunks.len(), |i| {
+        let (lo, hi) = chunks[i];
+        Condensed::from_csr(&a.sub_rows(lo..hi))
+    });
 
     // Merge: rebuild a single Condensed by re-basing window start rows.
     merge_condensed(a, &chunks, partials)

@@ -138,7 +138,9 @@ impl SpmmKernel for BalancedDtcKernel {
             }
         }
 
-        for tb_idx in 0..num_tbs {
+        // Per-TB lowering fans out over threads; TBs only read the shared
+        // block/window tables, and the reduction below keeps TB order.
+        let tbs = dtc_par::par_map_collect(num_tbs, |tb_idx| {
             let lo = tb_idx * self.blocks_per_tb;
             let hi = (lo + self.blocks_per_tb).min(metcf.num_tc_blocks());
             let mut tb = TbWork { overlap_a_fetch: opts.sdb, ..TbWork::default() };
@@ -175,6 +177,9 @@ impl SpmmKernel for BalancedDtcKernel {
                     tb.atom_ops += 16.0 * n_f / 32.0; // warp atomics in L2
                 }
             }
+            tb
+        });
+        for tb in tbs {
             total_b_sectors += tb.lsu_b_sectors;
             trace.push(tb);
         }

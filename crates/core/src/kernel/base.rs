@@ -174,8 +174,11 @@ impl SpmmKernel for DtcKernel {
         let n_f = n as f64;
         let mut trace = KernelTrace::new(DTC_OCCUPANCY, DTC_WARPS);
         let b_row_sectors = sectors_per_b_row(n);
-        let mut total_b_sectors = 0.0;
-        for w in 0..self.metcf.num_windows() {
+        // One TbWork per row window, built in parallel; windows are
+        // independent and the reduction below walks them in window order, so
+        // the trace (including the total-sector sum feeding the L2 estimate)
+        // is identical to a serial build.
+        let tbs = dtc_par::par_map_collect(self.metcf.num_windows(), |w| {
             let mut tb = TbWork {
                 overlap_a_fetch: self.opts.sdb,
                 epilogue_sectors: 16.0 * b_row_sectors,
@@ -199,6 +202,10 @@ impl SpmmKernel for DtcKernel {
                     }
                 }
             }
+            tb
+        });
+        let mut total_b_sectors = 0.0;
+        for tb in tbs {
             total_b_sectors += tb.lsu_b_sectors;
             trace.push(tb);
         }

@@ -13,6 +13,12 @@ use dtc_formats::{DenseMatrix, MeTcfMatrix, Precision, BLOCK_WIDTH, WINDOW_HEIGH
 /// Shared exact-execution body: walks ME-TCF blocks performing
 /// precision-rounded multiply, FP32 accumulate — the numeric contract of
 /// `mma.sync.aligned.m16n8k4.f32.<p>.<p>.f32`.
+///
+/// Mirrors the GPU decomposition on the host: one task per 16-row window,
+/// fanned out over `dtc_par::num_threads()` scoped threads. Each window owns
+/// a disjoint 16-row strip of C and runs the exact serial per-entry
+/// accumulation order, so the result is bit-identical to a serial walk for
+/// any thread count (see DESIGN.md, "Parallel host substrate").
 pub(crate) fn execute_metcf(
     metcf: &MeTcfMatrix,
     b: &DenseMatrix,
@@ -20,25 +26,39 @@ pub(crate) fn execute_metcf(
 ) -> DenseMatrix {
     let n = b.cols();
     let mut c = DenseMatrix::zeros(metcf.rows(), n);
-    for w in 0..metcf.num_windows() {
-        let base_row = w * WINDOW_HEIGHT;
-        for t in metcf.window_blocks(w) {
-            let cols = metcf.block_cols(t);
-            let (ids, vals) = metcf.block_entries(t);
-            for (&id, &v) in ids.iter().zip(vals) {
-                let local_row = (id as usize) / BLOCK_WIDTH;
-                let local_col = (id as usize) % BLOCK_WIDTH;
-                let row = base_row + local_row;
-                let col = cols[local_col] as usize;
-                let a_v = precision.round(v);
-                let out = c.row_mut(row);
-                for (o, &bv) in out.iter_mut().zip(b.row(col)) {
-                    *o += a_v * precision.round(bv);
-                }
+    if n == 0 {
+        return c;
+    }
+    dtc_par::par_chunks_mut(c.as_mut_slice(), WINDOW_HEIGHT * n, |w, strip| {
+        execute_window(metcf, b, precision, w, strip, n);
+    });
+    c
+}
+
+/// Executes one row window into its 16-row output strip (`strip` is shorter
+/// for a final partial window).
+fn execute_window(
+    metcf: &MeTcfMatrix,
+    b: &DenseMatrix,
+    precision: Precision,
+    w: usize,
+    strip: &mut [f32],
+    n: usize,
+) {
+    for t in metcf.window_blocks(w) {
+        let cols = metcf.block_cols(t);
+        let (ids, vals) = metcf.block_entries(t);
+        for (&id, &v) in ids.iter().zip(vals) {
+            let local_row = (id as usize) / BLOCK_WIDTH;
+            let local_col = (id as usize) % BLOCK_WIDTH;
+            let col = cols[local_col] as usize;
+            let a_v = precision.round(v);
+            let out = &mut strip[local_row * n..(local_row + 1) * n];
+            for (o, &bv) in out.iter_mut().zip(b.row(col)) {
+                *o += a_v * precision.round(bv);
             }
         }
     }
-    c
 }
 
 #[cfg(test)]

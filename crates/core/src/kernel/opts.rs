@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 
 /// The four runtime-kernel optimizations of §4.4, individually toggleable
 /// for the Fig 14 ablation.
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ladder.first().unwrap().0, "Base");
 /// assert_eq!(ladder.last().unwrap().1, KernelOpts::all());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelOpts {
     /// Shared-Memory Bypassing (§4.4.1): B tiles go straight from global
     /// memory to registers via PTX `mma`, skipping the `STS` /

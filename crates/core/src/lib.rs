@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod convert;
 pub mod kernel;
 pub mod mma;
@@ -48,6 +49,7 @@ mod pipeline;
 mod selector;
 mod session;
 
+pub use cache::{clear_conversion_cache, conversion_cache_stats};
 pub use kernel::{BalancedDtcKernel, DtcKernel, KernelOpts};
 pub use pipeline::{DtcSpmm, DtcSpmmBuilder};
 pub use selector::{KernelChoice, Selector, SelectorDecision};

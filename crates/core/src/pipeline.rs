@@ -4,11 +4,12 @@
 
 use crate::kernel::{BalancedDtcKernel, DtcKernel, KernelOpts};
 use crate::selector::{KernelChoice, Selector, SelectorDecision};
-use dtc_baselines::util::distinct_col_count;
 use dtc_baselines::SpmmKernel;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError, MeTcfMatrix, Precision};
 use dtc_reorder::{Reorderer, TcaReorderer};
 use dtc_sim::{Device, KernelTrace};
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Builder for a [`DtcSpmm`] engine.
 pub struct DtcSpmmBuilder {
@@ -94,6 +95,11 @@ impl DtcSpmmBuilder {
     }
 
     /// Runs the offline pipeline for a matrix and returns the engine.
+    ///
+    /// ME-TCF conversion goes through the process-wide [`crate::cache`]:
+    /// rebuilding an engine over a structurally identical matrix reuses the
+    /// previous conversion (observable via
+    /// [`crate::conversion_cache_stats`]).
     pub fn build(self, a: &CsrMatrix) -> DtcSpmm {
         let (perm, working) = if self.reorder {
             let perm = self.reorderer.reorder(a);
@@ -102,8 +108,9 @@ impl DtcSpmmBuilder {
         } else {
             (None, a.clone())
         };
-        let metcf = MeTcfMatrix::from_csr(&working);
-        let distinct = distinct_col_count(&working);
+        let converted = crate::cache::metcf_for(&working);
+        let metcf = converted.metcf.clone();
+        let distinct = converted.distinct_cols;
         let decision = self.selector.decide(&metcf, &self.device);
         let choice = self.force.unwrap_or(decision.choice);
         let kernel: DtcAnyKernel = match choice {
@@ -115,7 +122,7 @@ impl DtcSpmmBuilder {
                     .with_precision(self.precision),
             ),
         };
-        DtcSpmm { perm, kernel, decision, choice }
+        DtcSpmm { perm, kernel, decision, choice, trace_cache: Mutex::new(HashMap::new()) }
     }
 }
 
@@ -145,6 +152,10 @@ pub struct DtcSpmm {
     kernel: DtcAnyKernel,
     decision: SelectorDecision,
     choice: KernelChoice,
+    /// Memoized kernel traces, keyed by (N, device fingerprint,
+    /// record_b_addrs): repeated `simulate` calls on one engine re-lower
+    /// the kernel zero times.
+    trace_cache: Mutex<HashMap<(usize, u64, bool), KernelTrace>>,
 }
 
 impl DtcSpmm {
@@ -219,8 +230,25 @@ impl SpmmKernel for DtcSpmm {
     }
 
     fn trace(&self, n: usize, device: &Device, record_b_addrs: bool) -> KernelTrace {
-        self.kernel.as_kernel().trace(n, device, record_b_addrs)
+        let key = (n, device_fingerprint(device), record_b_addrs);
+        if let Some(hit) = self.trace_cache.lock().unwrap().get(&key) {
+            return hit.clone();
+        }
+        let trace = self.kernel.as_kernel().trace(n, device, record_b_addrs);
+        self.trace_cache.lock().unwrap().insert(key, trace.clone());
+        trace
     }
+}
+
+/// Hashes the device's full field set (via its `Debug` form), so a modified
+/// clone of a preset never aliases the preset's cached traces.
+fn device_fingerprint(device: &Device) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in format!("{device:?}").bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]

@@ -12,10 +12,9 @@
 
 use dtc_formats::MeTcfMatrix;
 use dtc_sim::{schedule, Device};
-use serde::{Deserialize, Serialize};
 
 /// Which runtime kernel to launch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelChoice {
     /// `DTC-SpMM-base`: one thread block per row window.
     Base,
@@ -24,7 +23,7 @@ pub enum KernelChoice {
 }
 
 /// The Selector's full decision record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelectorDecision {
     /// Estimated makespan (in TC-block units) without strict balance.
     pub makespan_base: f64,
@@ -52,7 +51,7 @@ pub struct SelectorDecision {
 /// assert_eq!(decision.choice, KernelChoice::Balanced);
 /// assert!(decision.approximation_ratio > 1.2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Selector {
     /// AR threshold above which the balanced kernel is picked (paper: 1.2).
     pub threshold: f64,
@@ -71,7 +70,12 @@ impl Selector {
     /// scheduling one thread block per row window (duration = its TC-block
     /// count) under the eq. (1) policy model.
     pub fn makespan_base(&self, window_block_counts: &[usize], device: &Device) -> f64 {
-        let durations: Vec<f64> = window_block_counts.iter().map(|&b| b as f64).collect();
+        // Candidate lowering fans out over threads (order-preserving, so the
+        // duration sequence — and therefore the decision — is independent of
+        // the thread count); the eq. (1) policy replay itself is inherently
+        // sequential, as each placement depends on all earlier finishes.
+        let durations: Vec<f64> =
+            dtc_par::par_map_collect(window_block_counts.len(), |i| window_block_counts[i] as f64);
         schedule(device, self.occupancy, &durations).makespan_cycles
     }
 

@@ -19,10 +19,9 @@ use crate::{DtcSpmm, SpmmKernel};
 use dtc_baselines::CusparseSpmm;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
 use dtc_sim::Device;
-use serde::{Deserialize, Serialize};
 
 /// Which engine the amortization analysis recommends.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineRecommendation {
     /// The workload is long enough for DTC-SpMM's setup to amortize.
     Dtc,
@@ -31,7 +30,7 @@ pub enum EngineRecommendation {
 }
 
 /// The amortization summary for one (matrix, N, device) workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AmortizationReport {
     /// One-time DTC setup: format conversion + Selector, ms.
     pub setup_ms: f64,

@@ -45,8 +45,7 @@ pub use suite::suite_corpus;
 use dtc_formats::stats::MatrixStats;
 use dtc_formats::CsrMatrix;
 use dtc_sim::Device;
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
@@ -62,7 +61,7 @@ pub fn scaled_device(mut device: Device) -> Device {
 }
 
 /// Structure class from §3: Type I (small `AvgRowL`) vs Type II (large).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetKind {
     /// Small average row length (2–12 in the paper).
     TypeI,
@@ -73,7 +72,7 @@ pub enum DatasetKind {
 }
 
 /// Statistics the paper reports for the original dataset (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PaperStats {
     /// Rows (= columns; all Table-1 matrices are square).
     pub rows: usize,
@@ -84,7 +83,7 @@ pub struct PaperStats {
 }
 
 /// One benchmark dataset: the paper's statistics plus our scaled stand-in.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// Full name as in Table 1 (or a corpus identifier).
     pub name: String,
@@ -114,11 +113,11 @@ impl Dataset {
         // Generate outside the lock when missing to keep the critical
         // section short; a racing duplicate insert is harmless (identical
         // deterministic matrices).
-        if let Some(hit) = cache.lock().get(&self.name) {
+        if let Some(hit) = cache.lock().unwrap().get(&self.name) {
             return Arc::clone(hit);
         }
         let built = Arc::new(self.spec.build());
-        cache.lock().insert(self.name.clone(), Arc::clone(&built));
+        cache.lock().unwrap().insert(self.name.clone(), Arc::clone(&built));
         built
     }
 

@@ -1,9 +1,8 @@
 use dtc_formats::gen;
 use dtc_formats::CsrMatrix;
-use serde::{Deserialize, Serialize};
 
 /// A serializable generator specification for a synthetic stand-in matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MatrixSpec {
     /// Uniform scatter (`gen::uniform`).
     Uniform {

@@ -1,5 +1,4 @@
 use crate::{CsrMatrix, FormatError};
-use serde::{Deserialize, Serialize};
 
 /// Blocked-Ellpack (BELL) — the format behind cuSPARSE's Block-SpMM.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BellMatrix {
     rows: usize,
     cols: usize,

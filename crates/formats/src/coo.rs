@@ -1,5 +1,4 @@
 use crate::{CsrMatrix, DenseMatrix, FormatError};
-use serde::{Deserialize, Serialize};
 
 /// A sparse matrix in Coordinate (COO) format.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CooMatrix {
     rows: usize,
     cols: usize,

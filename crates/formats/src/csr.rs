@@ -1,5 +1,4 @@
 use crate::{CooMatrix, DenseMatrix, FormatError};
-use serde::{Deserialize, Serialize};
 
 /// A sparse matrix in Compressed Sparse Row (CSR) format.
 ///
@@ -25,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
@@ -257,16 +256,22 @@ impl CsrMatrix {
         }
         let n = b.cols();
         let mut c = DenseMatrix::zeros(self.rows, n);
-        for r in 0..self.rows {
+        if n == 0 {
+            return Ok(c);
+        }
+        // Row-parallel: each output row is owned by exactly one chunk and
+        // accumulated in the serial entry order, so any thread count yields
+        // bit-identical results (this is also the cuSPARSE/Sputnik row-split
+        // decomposition the baselines model).
+        dtc_par::par_chunks_mut(c.as_mut_slice(), n, |r, out| {
             let (cols, vals) = self.row_entries(r);
-            let out = c.row_mut(r);
             for (&col, &val) in cols.iter().zip(vals) {
                 let brow = b.row(col as usize);
                 for (o, &bv) in out.iter_mut().zip(brow) {
                     *o += val * bv;
                 }
             }
-        }
+        });
         Ok(c)
     }
 

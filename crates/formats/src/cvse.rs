@@ -1,5 +1,4 @@
 use crate::{CsrMatrix, FormatError};
-use serde::{Deserialize, Serialize};
 
 /// Column-Vector Sparse Encoding (CVSE) — VectorSparse's format.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CvseMatrix {
     rows: usize,
     cols: usize,

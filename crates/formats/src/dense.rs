@@ -1,5 +1,4 @@
 use crate::FormatError;
-use serde::{Deserialize, Serialize};
 
 /// A dense, row-major `f32` matrix.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.rows(), 2);
 /// assert_eq!(m.cols(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DenseMatrix {
     rows: usize,
     cols: usize,

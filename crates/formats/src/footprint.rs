@@ -6,11 +6,10 @@
 //! overhead. `TCLocalId`'s `u8` entries count as `NNZ / 4` elements.
 
 use crate::{CsrMatrix, MeTcfMatrix, TcfMatrix, WINDOW_HEIGHT};
-use serde::{Deserialize, Serialize};
 
 /// Index memory of the three general formats for one matrix, in 32-bit
 /// elements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FormatFootprint {
     /// CSR: `M + 1 + NNZ`.
     pub csr: u64,

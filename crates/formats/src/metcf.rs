@@ -1,5 +1,4 @@
 use crate::{Condensed, CsrMatrix, FormatError, TcBlock, BLOCK_WIDTH, WINDOW_HEIGHT};
-use serde::{Deserialize, Serialize};
 
 /// Sentinel marking a padded (absent) column slot in `SparseAtoB`.
 pub const PAD_COL: u32 = u32::MAX;
@@ -34,7 +33,7 @@ pub const PAD_COL: u32 = u32::MAX;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MeTcfMatrix {
     rows: usize,
     cols: usize,

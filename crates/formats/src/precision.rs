@@ -7,11 +7,10 @@
 //! functions plus their Tensor-Core throughput multipliers.
 
 use crate::tf32::round_to_tf32;
-use serde::{Deserialize, Serialize};
 
 /// A Tensor-Core multiplicand precision. Accumulation is FP32 in all cases
 /// (the `*.f32.<in>.<in>.f32` `mma` variants).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Precision {
     /// 8-bit exponent, 10-bit mantissa (FP32 range, reduced precision) —
     /// the paper's choice for GNN and scientific workloads.

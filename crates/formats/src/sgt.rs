@@ -1,5 +1,4 @@
 use crate::{CsrMatrix, FormatError};
-use serde::{Deserialize, Serialize};
 
 /// Height of a row window / TC block (§2.3: TC blocks are 16×8).
 pub const WINDOW_HEIGHT: usize = 16;
@@ -7,7 +6,7 @@ pub const WINDOW_HEIGHT: usize = 16;
 pub const BLOCK_WIDTH: usize = 8;
 
 /// One non-zero after Sparse Graph Translation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CondensedEntry {
     /// Row within the 16-row window (0..16).
     pub local_row: u8,
@@ -21,7 +20,7 @@ pub struct CondensedEntry {
 }
 
 /// One 16-row window of a condensed matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RowWindow {
     /// First (global) row covered by this window.
     pub start_row: usize,
@@ -116,7 +115,7 @@ impl TcBlock<'_> {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Condensed {
     rows: usize,
     cols: usize,
@@ -129,8 +128,10 @@ impl Condensed {
     pub fn from_csr(a: &CsrMatrix) -> Self {
         let rows = a.rows();
         let num_windows = rows.div_ceil(WINDOW_HEIGHT);
-        let mut windows = Vec::with_capacity(num_windows);
-        for w in 0..num_windows {
+        // SGT condensing is embarrassingly parallel: each 16-row window
+        // reads only its own rows, and `par_map_collect` keeps window order,
+        // so the condensed form is identical for any thread count.
+        let windows = dtc_par::par_map_collect(num_windows, |w| {
             let start_row = w * WINDOW_HEIGHT;
             let end_row = (start_row + WINDOW_HEIGHT).min(rows);
             // Gather and dedup columns.
@@ -166,8 +167,8 @@ impl Condensed {
             for b in 0..num_blocks {
                 block_entry_offsets[b + 1] += block_entry_offsets[b];
             }
-            windows.push(RowWindow { start_row, unique_cols, entries, block_entry_offsets });
-        }
+            RowWindow { start_row, unique_cols, entries, block_entry_offsets }
+        });
         Condensed { rows, cols: a.cols(), nnz: a.nnz(), windows }
     }
 

@@ -3,7 +3,6 @@
 //! imbalance measures.
 
 use crate::{Condensed, CsrMatrix};
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a sparse matrix, in the vocabulary of the paper.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(s.is_type_ii());
 /// assert!(s.sparsity > 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatrixStats {
     /// Number of rows (`M`).
     pub rows: usize,
@@ -74,7 +73,7 @@ impl MatrixStats {
 }
 
 /// Statistics of the condensed (SGT) form of a matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CondensedStats {
     /// Total TC blocks (`NumTCBlocks`).
     pub num_tc_blocks: usize,

@@ -1,5 +1,4 @@
 use crate::{Condensed, CsrMatrix, FormatError, WINDOW_HEIGHT};
-use serde::{Deserialize, Serialize};
 
 /// TC-GNN's <u>T</u>C-GNN-<u>C</u>ompressed-<u>F</u>ormat (TCF, §2.3).
 ///
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Observation 1 of the paper: this costs `⌈M/16⌉ + M + 1 + 3·NNZ` 32-bit
 /// elements (values excluded) — on average 168 % more than CSR.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TcfMatrix {
     rows: usize,
     cols: usize,

@@ -7,10 +7,9 @@ use dtc_formats::{CsrMatrix, DenseMatrix};
 use dtc_sim::Device;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Training configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TrainConfig {
     /// Training epochs (Fig 16 uses 200).
     pub epochs: usize,
@@ -33,7 +32,7 @@ impl Default for TrainConfig {
 }
 
 /// Result of a training run: real learning curve + simulated GPU time.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainingReport {
     /// Backend name.
     pub backend: String,

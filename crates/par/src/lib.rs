@@ -1,0 +1,259 @@
+//! Deterministic scoped parallelism for the DTC-SpMM workspace.
+//!
+//! DTC-SpMM's GPU kernels decompose work into independent row windows (one
+//! thread block per 16-row window); this crate mirrors that decomposition on
+//! the host so exact execution, trace lowering, conversion, and simulation
+//! fan out across CPU cores **without changing any result bit**. The rules
+//! that make that hold:
+//!
+//! - **Contiguous sharding.** Work is split into contiguous index bands, one
+//!   band per thread. Each unit of work (a row window, a thread block, a row)
+//!   is processed by exactly one thread using the same per-unit code path and
+//!   the same intra-unit iteration order as the serial loop.
+//! - **Ordered reduction.** [`par_map_collect`] returns results indexed
+//!   exactly as a serial `(0..n).map(f).collect()`, so any subsequent fold
+//!   (e.g. summing sector counts) visits values in serial order.
+//! - **Disjoint outputs.** [`par_chunks_mut`] hands each thread disjoint
+//!   `&mut` chunks of one output buffer (e.g. 16 output rows of C per
+//!   window), so there is no accumulation across threads at all.
+//!
+//! Thread count resolution order: [`set_threads`] override (used by bench
+//! sweeps), then the `DTC_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`. `threads == 1` runs the exact
+//! serial loop on the calling thread — no spawn, no overhead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `0` means "no override"; anything else wins over `DTC_THREADS`.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread count process-wide (`None` clears it).
+///
+/// Meant for tools that sweep thread counts in one process (see
+/// `bench/src/bin/parallel_scaling.rs`); normal callers rely on
+/// `DTC_THREADS` or the detected core count.
+pub fn set_threads(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0).max(0), Ordering::Relaxed);
+}
+
+/// Resolves the number of worker threads to use right now.
+///
+/// Order: [`set_threads`] override, then `DTC_THREADS` (positive integer;
+/// unparsable or zero values are ignored), then the detected parallelism.
+/// Always at least 1.
+pub fn num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("DTC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Splits `n` work units into at most `threads` contiguous bands.
+///
+/// Returns `(start, end)` half-open bands covering `0..n` in order. Earlier
+/// bands are never smaller than later ones (remainder spread one-per-band
+/// from the front), and empty bands are omitted.
+pub fn bands(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.max(1).min(n.max(1));
+    let base = n / threads;
+    let extra = n % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        if len == 0 {
+            break;
+        }
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Maps `f` over `0..n` in parallel, collecting results in index order.
+///
+/// Bit-identical to `(0..n).map(f).collect()` for any thread count: each
+/// index is evaluated exactly once and results are concatenated band by
+/// band, so a later fold over the returned `Vec` sees serial order.
+pub fn par_map_collect<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_collect_with(num_threads(), n, f)
+}
+
+/// [`par_map_collect`] with an explicit thread count (callers that sweep or
+/// pin thread counts, e.g. `convert_to_metcf_parallel`).
+pub fn par_map_collect_with<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let bands = bands(n, threads);
+    if bands.len() <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut per_band: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = bands
+            .iter()
+            .map(|&(start, end)| scope.spawn(move || (start..end).map(f).collect::<Vec<R>>()))
+            .collect();
+        per_band = handles.into_iter().map(|h| h.join().expect("dtc-par worker panicked")).collect();
+    });
+    let mut out = Vec::with_capacity(n);
+    for band in per_band {
+        out.extend(band);
+    }
+    out
+}
+
+/// Runs `f(chunk_index, chunk)` over `chunk_size`-sized chunks of `data` in
+/// parallel (last chunk may be short), each chunk visited exactly once.
+///
+/// Chunks are distributed as contiguous bands, so every chunk sees the same
+/// `f` invocation it would in a serial `data.chunks_mut(chunk_size)` loop;
+/// outputs are disjoint `&mut` slices, making the parallel run bit-identical.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let n_chunks = data.len().div_ceil(chunk_size);
+    let threads = num_threads();
+    if threads <= 1 || n_chunks <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let bands = bands(n_chunks, threads);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut handles = Vec::with_capacity(bands.len());
+        for &(start, end) in &bands {
+            let band_elems = ((end - start) * chunk_size).min(rest.len());
+            let (band, tail) = rest.split_at_mut(band_elems);
+            rest = tail;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                for (i, chunk) in band.chunks_mut(chunk_size).enumerate() {
+                    f(start + i, chunk);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("dtc-par worker panicked");
+        }
+    });
+}
+
+/// Runs two independent closures, in parallel when more than one thread is
+/// available, returning both results.
+pub fn join<RA, RB, FA, FB>(fa: FA, fb: FB) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    FA: FnOnce() -> RA + Send,
+    FB: FnOnce() -> RB + Send,
+{
+    if num_threads() <= 1 {
+        return (fa(), fb());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(fb);
+        let ra = fa();
+        (ra, hb.join().expect("dtc-par worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that mutate the process-wide override.
+    static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn bands_cover_range_in_order() {
+        for n in [0usize, 1, 2, 7, 16, 33, 1000] {
+            for threads in [1usize, 2, 3, 7, 16, 64] {
+                let bands = bands(n, threads);
+                let mut expect = 0;
+                for &(s, e) in &bands {
+                    assert_eq!(s, expect);
+                    assert!(e > s);
+                    expect = e;
+                }
+                assert_eq!(expect, n);
+                assert_eq!(bands.iter().map(|&(s, e)| e - s).sum::<usize>(), n);
+                assert!(bands.len() <= threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn map_collect_matches_serial_for_every_thread_count() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let serial: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        for threads in [1usize, 2, 7, 16] {
+            set_threads(Some(threads));
+            assert_eq!(par_map_collect(1000, |i| i * i), serial, "threads={threads}");
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn chunks_mut_visits_every_chunk_once() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        for threads in [1usize, 2, 7, 16] {
+            set_threads(Some(threads));
+            for len in [0usize, 1, 15, 16, 17, 160, 163] {
+                let mut data = vec![0u32; len];
+                par_chunks_mut(&mut data, 16, |ci, chunk| {
+                    for (j, x) in chunk.iter_mut().enumerate() {
+                        *x += (ci * 16 + j) as u32 + 1;
+                    }
+                });
+                let expect: Vec<u32> = (0..len as u32).map(|i| i + 1).collect();
+                assert_eq!(data, expect, "threads={threads} len={len}");
+            }
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        for threads in [1usize, 4] {
+            set_threads(Some(threads));
+            let (a, b) = join(|| 2 + 2, || "ok".to_string());
+            assert_eq!(a, 4);
+            assert_eq!(b, "ok");
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn override_beats_env() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_threads(Some(3));
+        assert_eq!(num_threads(), 3);
+        set_threads(None);
+        assert!(num_threads() >= 1);
+    }
+}

@@ -136,18 +136,24 @@ impl TcaReorderer {
     /// ablation and by Hierarchy II).
     pub fn hierarchy_one(&self, a: &CsrMatrix) -> Vec<Vec<usize>> {
         let hasher = MinHasher::new(self.minhash_k, self.seed);
+        // Per-row MinHash signatures and per-candidate exact Jaccard scores
+        // are pure functions of their row(s); both passes fan out over
+        // threads with order-preserving collection, so the scored-pair list
+        // (and hence the merge heap) is identical to a serial pass.
         let signatures: Vec<Vec<u64>> =
-            (0..a.rows()).map(|r| hasher.signature(a.row_entries(r).0)).collect();
+            dtc_par::par_map_collect(a.rows(), |r| hasher.signature(a.row_entries(r).0));
         let candidates = lsh_candidate_pairs(&hasher, &signatures, &self.lsh);
-        let scored: Vec<ScoredPair> = candidates
-            .into_iter()
-            .map(|(i, j)| ScoredPair {
+        let scored: Vec<ScoredPair> = dtc_par::par_map_collect(candidates.len(), |k| {
+            let (i, j) = candidates[k];
+            ScoredPair {
                 score: jaccard_sorted(a.row_entries(i).0, a.row_entries(j).0),
                 i,
                 j,
-            })
-            .filter(|p| p.score >= self.min_similarity)
-            .collect();
+            }
+        })
+        .into_iter()
+        .filter(|p| p.score >= self.min_similarity)
+        .collect();
         agglomerate(a.rows(), |_| 1, scored, self.block_height)
     }
 
@@ -160,18 +166,25 @@ impl TcaReorderer {
     /// deduplicated column sets.
     pub fn hierarchy_two(&self, a: &CsrMatrix, clusters: &[Vec<usize>]) -> Vec<Vec<usize>> {
         let hasher = MinHasher::new(self.minhash_k, self.seed.wrapping_add(1));
-        // Deduplicated column set per cluster (sorted) + its signature.
+        // Deduplicated column set per cluster (sorted) + its signature,
+        // built per-cluster in parallel (each task reads only its own
+        // cluster's rows).
+        let per_cluster: Vec<(Vec<u32>, Vec<u64>)> =
+            dtc_par::par_map_collect(clusters.len(), |ci| {
+                let mut cols: Vec<u32> = Vec::new();
+                for &r in &clusters[ci] {
+                    cols.extend_from_slice(a.row_entries(r).0);
+                }
+                cols.sort_unstable();
+                cols.dedup();
+                let sig = hasher.signature(&cols);
+                (cols, sig)
+            });
         let mut cluster_cols: Vec<Vec<u32>> = Vec::with_capacity(clusters.len());
         let mut cluster_sigs: Vec<Vec<u64>> = Vec::with_capacity(clusters.len());
-        for c in clusters {
-            let mut cols: Vec<u32> = Vec::new();
-            for &r in c {
-                cols.extend_from_slice(a.row_entries(r).0);
-            }
-            cols.sort_unstable();
-            cols.dedup();
-            cluster_sigs.push(hasher.signature(&cols));
+        for (cols, sig) in per_cluster {
             cluster_cols.push(cols);
+            cluster_sigs.push(sig);
         }
         // Single-component bands: cluster column sets overlap weakly with
         // the small straggler clusters of their community, so candidate
@@ -183,15 +196,17 @@ impl TcaReorderer {
             max_bucket_pairs: self.lsh.max_bucket_pairs,
         };
         let candidates = lsh_candidate_pairs(&hasher, &cluster_sigs, &h2_lsh);
-        let scored: Vec<ScoredPair> = candidates
-            .into_iter()
-            .map(|(i, j)| ScoredPair {
+        let scored: Vec<ScoredPair> = dtc_par::par_map_collect(candidates.len(), |k| {
+            let (i, j) = candidates[k];
+            ScoredPair {
                 score: jaccard_sorted(&cluster_cols[i], &cluster_cols[j]),
                 i,
                 j,
-            })
-            .filter(|p| p.score > 0.02)
-            .collect();
+            }
+        })
+        .into_iter()
+        .filter(|p| p.score > 0.02)
+        .collect();
         // Weight = number of row clusters per CC, capped at sm_num.
         agglomerate(clusters.len(), |_| 1, scored, self.sm_num)
     }

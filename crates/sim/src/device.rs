@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 
 /// A GPU device model: SM count, per-SM pipe throughputs, latencies, the
 /// memory hierarchy, and clocks.
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// fat_l2.l2_bytes *= 2;
 /// assert!(fat_l2.l2_bytes > ada.l2_bytes);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Device {
     /// Marketing name, e.g. `"RTX4090"`.
     pub name: String,

@@ -59,10 +59,13 @@ pub fn tb_duration_event_driven(
         // Coordinate computation and staging for this iteration.
         t += alu_i + fp_i + smem_i + shfl_i;
         // FetchSpAsync for the *next* iteration (double buffering): issue
-        // now, completes in the background while this tile computes.
+        // now, completes in the background while this tile computes. Like
+        // the prologue, a block with no sparse sectors faces no load
+        // latency (the guard was missing here and in the synchronous path
+        // below, charging phantom latencies to A-free blocks).
         if i + 1 < iters && tb.overlap_a_fetch {
             t += lsu_a_i;
-            a_ready = t + latency;
+            a_ready = t + if tb.lsu_a_sectors > 0.0 { latency } else { 0.0 };
         }
         // Wait for this iteration's operands, then Tensor-Core compute.
         t = t.max(b_ready).max(cur_a_ready);
@@ -70,7 +73,7 @@ pub fn tb_duration_event_driven(
         // Synchronous A fetch for the next iteration (no double buffering):
         // issue + latency serialize after compute.
         if i + 1 < iters && !tb.overlap_a_fetch {
-            t += lsu_a_i + latency;
+            t += lsu_a_i + if tb.lsu_a_sectors > 0.0 { latency } else { 0.0 };
             a_ready = t;
         }
     }
@@ -156,6 +159,66 @@ mod tests {
         let device = Device::rtx4090();
         let d = tb_duration_event_driven(&device, 1, 8, &TbWork::default(), 0.5);
         assert!((d - device.tb_launch_overhead_cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_issue_cost_charged_exactly_once_per_iteration() {
+        // Audit of the "prologue A-fetch issue cost charged twice" report:
+        // with latency zeroed out, only issue costs remain, so the total is
+        // exactly `launch + lsu_a_sectors / share` — the prologue issue plus
+        // `iters - 1` in-loop issues, i.e. one per iteration, never two.
+        // Holds for both buffering modes.
+        let mut device = Device::rtx4090();
+        device.mem_latency_cycles = 0.0;
+        let iters = 4usize;
+        for overlap in [false, true] {
+            let tb = TbWork {
+                lsu_a_sectors: 600.0,
+                iters: iters as f64,
+                overlap_a_fetch: overlap,
+                ..TbWork::default()
+            };
+            let d = tb_duration_event_driven(&device, 1, 8, &tb, 0.0);
+            // occ = 1, warps = 8: issue_cap = 8/16, share = thru * 0.5.
+            let share = device.lsu_sectors_per_cycle * 0.5;
+            let expected = device.tb_launch_overhead_cycles + tb.lsu_a_sectors / share;
+            assert!(
+                (d - expected).abs() < 1e-9,
+                "overlap={overlap}: d={d} expected={expected} (A issue cost must be paid exactly once per iteration)"
+            );
+        }
+    }
+
+    #[test]
+    fn a_free_blocks_face_no_a_latency() {
+        // Regression: the in-loop fetch paths used to charge the full load
+        // latency every iteration even for blocks with zero sparse sectors,
+        // though the prologue correctly guards on `lsu_a_sectors > 0`. An
+        // A-free block must cost launch + compute only, and the double
+        // buffering flag must be irrelevant to it.
+        let device = Device::rtx4090();
+        let occ = 6usize;
+        let iters = 4usize;
+        let mk = |overlap: bool| TbWork {
+            hmma_ops: 800.0,
+            hmma_count: 800.0,
+            iters: iters as f64,
+            overlap_a_fetch: overlap,
+            ..TbWork::default()
+        };
+        let plain = tb_duration_event_driven(&device, occ, 8, &mk(false), 0.0);
+        let dbuf = tb_duration_event_driven(&device, occ, 8, &mk(true), 0.0);
+        assert!(
+            (plain - dbuf).abs() < 1e-9,
+            "A-free block: buffering mode must not matter, got {plain} vs {dbuf}"
+        );
+        // occ = 6, warps = 8: issue_cap = min(48/16, 1) = 1.
+        let tc_share = device.tc_hmma_per_cycle / occ as f64;
+        let expected = device.tb_launch_overhead_cycles / occ as f64 + 800.0 / tc_share;
+        assert!(
+            (plain - expected).abs() < 1e-9,
+            "A-free block charged a phantom A latency: d={plain} expected={expected}"
+        );
     }
 
     #[test]

@@ -7,10 +7,9 @@
 //! for building [`crate::TbWork`] from explicit instruction counts.
 
 use crate::{Device, TbWork};
-use serde::{Deserialize, Serialize};
 
 /// The warp-level instruction kinds appearing in the paper's kernels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instruction {
     /// Tensor-Core `mma.m16n8k8`-equivalent (TF32).
     Hmma,
@@ -68,7 +67,7 @@ impl Instruction {
 
 /// Explicit warp-instruction counts for one thread block; a lower-level
 /// alternative to filling [`TbWork`] by hand.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct InstructionCounts {
     /// `(instruction, warp-level count)` pairs; duplicates accumulate.
     pub counts: Vec<(Instruction, f64)>,

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 
 /// The per-thread-block work descriptor a kernel implementation lowers to.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// is the raw executed-instruction count used for the `#IMAD/#HMMA` ratio
 /// (e.g. one `m16n8k4` contributes 0.5 to `hmma_ops` but 1.0 to
 /// `hmma_count`).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TbWork {
     /// Warp IMAD / integer-ALU instructions (coordinate computation).
     pub alu_ops: f64,
@@ -39,13 +38,12 @@ pub struct TbWork {
     pub overlap_a_fetch: bool,
     /// Recorded B-access sector addresses for L2 simulation (optional;
     /// only populated when the caller wants a cache simulation).
-    #[serde(skip)]
     pub b_sector_addrs: Vec<u64>,
 }
 
 /// A lowered kernel: one [`TbWork`] per thread block plus launch-wide
 /// configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KernelTrace {
     /// Thread blocks in launch (block-index) order.
     pub tbs: Vec<TbWork>,

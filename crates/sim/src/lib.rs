@@ -94,11 +94,12 @@ pub fn simulate(device: &Device, trace: &KernelTrace, options: &SimOptions) -> S
         .max(1)
         .min(trace.tbs.len().div_ceil(device.num_sms.max(1)).max(1));
 
-    // Per-TB durations.
-    let durations: Vec<f64> = trace
-        .tbs
-        .iter()
-        .map(|tb| match options.timing {
+    // Per-TB durations, fanned out over host threads. Each TB's duration is
+    // a pure function of its own work, and `par_map_collect` returns them in
+    // TB order, so the schedule below sees exactly the serial sequence.
+    let durations: Vec<f64> = dtc_par::par_map_collect(trace.tbs.len(), |i| {
+        let tb = &trace.tbs[i];
+        match options.timing {
             TimingMode::Analytical => pipeline::tb_duration_cycles_with_occ(
                 device,
                 eff_occ,
@@ -113,8 +114,8 @@ pub fn simulate(device: &Device, trace: &KernelTrace, options: &SimOptions) -> S
                 tb,
                 effective_hit,
             ),
-        })
-        .collect();
+        }
+    });
 
     // Schedule onto SMs.
     let outcome = schedule(device, eff_occ, &durations);

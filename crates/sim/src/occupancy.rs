@@ -8,10 +8,9 @@
 //! block limits — so kernel configurations can derive their occupancy
 //! instead of hard-coding it.
 
-use serde::{Deserialize, Serialize};
 
 /// Per-SM resource limits (Ampere/Ada values).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SmResources {
     /// 32-bit registers per SM.
     pub registers: u32,
@@ -54,7 +53,7 @@ impl SmResources {
 }
 
 /// Resource usage of one kernel's thread block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelResources {
     /// Warps per thread block.
     pub warps_per_block: u32,

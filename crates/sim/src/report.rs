@@ -1,8 +1,7 @@
-use serde::{Deserialize, Serialize};
 
 /// The result of simulating one kernel launch — the counters NVIDIA Nsight
 /// Compute would report on real hardware.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Kernel duration in SM-clock cycles (after the DRAM-bandwidth bound).
     pub cycles: f64,

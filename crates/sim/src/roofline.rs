@@ -8,10 +8,9 @@
 //! from a device model and a kernel's traffic.
 
 use crate::{Device, KernelTrace};
-use serde::{Deserialize, Serialize};
 
 /// A kernel's position on the roofline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RooflinePoint {
     /// Arithmetic intensity: useful FLOP per DRAM byte.
     pub intensity: f64,

@@ -1,0 +1,196 @@
+//! Offline in-tree shim of the `criterion` crate.
+//!
+//! The workspace builds without registry access, so this crate implements the
+//! subset of criterion our `benches/` targets use: `criterion_group!` /
+//! `criterion_main!`, `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{bench_function, sample_size, throughput, finish}`,
+//! `Bencher::iter`, and `Throughput::Bytes`.
+//!
+//! Measurement is a plain monotonic-clock loop (median of N samples after a
+//! short warm-up) — no statistical regression analysis, plots, or baselines.
+//! When the binary is invoked with `--test` (what `cargo test` passes to
+//! `harness = false` bench targets), every benchmark body runs exactly once
+//! so the suite stays fast and still smoke-tests each bench path.
+
+use std::time::{Duration, Instant};
+
+/// How work is scaled when reporting throughput (subset of upstream's enum).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Passed to every benchmark closure; drives the timing loop.
+pub struct Bencher {
+    mode: Mode,
+    /// Median wall-clock time of one iteration, filled in by [`Bencher::iter`].
+    sampled: Option<Duration>,
+    sample_size: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// Full measurement (cargo bench).
+    Measure,
+    /// One iteration per body (cargo test on a harness=false target).
+    Smoke,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration duration.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.mode == Mode::Smoke {
+            std::hint::black_box(f());
+            self.sampled = Some(Duration::ZERO);
+            return;
+        }
+        // Warm-up: at least one call, then as many as fit in a short budget.
+        let warm_budget = Duration::from_millis(50);
+        let warm_start = Instant::now();
+        std::hint::black_box(f());
+        while warm_start.elapsed() < warm_budget {
+            std::hint::black_box(f());
+        }
+        // Pick an inner batch so one sample costs >= ~1ms, amortising timer
+        // overhead for nanosecond-scale bodies.
+        let probe = {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed()
+        };
+        let batch = (Duration::from_millis(1).as_nanos() / probe.as_nanos().max(1)).max(1) as usize;
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(f());
+                }
+                t.elapsed() / batch as u32
+            })
+            .collect();
+        samples.sort_unstable();
+        self.sampled = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Top-level handle handed to each `criterion_group!` function.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        // `cargo test` runs harness=false bench targets with `--test`;
+        // `cargo bench` passes `--bench`. Only the former demotes to smoke mode.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { mode: if smoke { Mode::Smoke } else { Mode::Measure } }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(self.mode, name, 20, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: 20 }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Records the per-iteration work scale (accepted; reporting only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside this group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(self.criterion.mode, &full, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one(mode: Mode, name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { mode, sampled: None, sample_size };
+    f(&mut bencher);
+    match (mode, bencher.sampled) {
+        (Mode::Smoke, _) => println!("bench {name} ... smoke ok"),
+        (Mode::Measure, Some(d)) => println!("bench {name} ... {:>12} ns/iter", d.as_nanos()),
+        (Mode::Measure, None) => println!("bench {name} ... no iter() call"),
+    }
+}
+
+/// Declares a group of benchmark functions (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::__new_criterion();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Internal constructor used by `criterion_group!`; not public API.
+#[doc(hidden)]
+pub fn __new_criterion() -> Criterion {
+    Criterion::from_args()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run_bodies() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut calls = 0;
+        c.bench_function("standalone", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Bytes(128));
+        let mut grouped = 0;
+        group.bench_function("inner", |b| b.iter(|| grouped += 1));
+        group.finish();
+        assert_eq!(grouped, 1);
+    }
+
+    #[test]
+    fn measure_mode_reports_a_duration() {
+        let mut bencher = Bencher { mode: Mode::Measure, sampled: None, sample_size: 3 };
+        bencher.iter(|| std::hint::black_box(41 + 1));
+        assert!(bencher.sampled.is_some());
+    }
+}

@@ -1,0 +1,208 @@
+//! Offline in-tree shim of the `rand` crate.
+//!
+//! The workspace builds without registry access, so this crate provides the
+//! *exact* API subset used in-tree — `StdRng::seed_from_u64`,
+//! `RngExt::random_range`, and `seq::SliceRandom::shuffle` — backed by a
+//! deterministic xoshiro256** generator. Streams are stable across
+//! platforms and releases: every generated dataset is a pure function of
+//! its seed, which the reproduction's figures rely on.
+//!
+//! This is NOT a cryptographic RNG and is not the upstream `rand` crate.
+
+#![warn(missing_docs)]
+
+pub mod rngs {
+    //! Concrete generator types (mirrors `rand::rngs`).
+
+    /// A deterministic xoshiro256** PRNG standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Seeding interface (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanded with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 state expansion, the standard xoshiro seeding recipe.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s: if s == [0; 4] { [1, 2, 3, 4] } else { s } }
+    }
+}
+
+/// A half-open range values can be drawn from (mirrors
+/// `rand::distr::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift rejection-free mapping: bias is < 2^-64,
+                // far below anything the deterministic test corpus can see.
+                let r = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+macro_rules! impl_int_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let r = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_inclusive!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    #[inline]
+    fn sample_from(self, rng: &mut StdRng) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample_from(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Value-generation methods on a generator (mirrors rand 0.9+'s `Rng`,
+/// imported in-tree as `RngExt`).
+pub trait RngExt {
+    /// Draws one value uniformly from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl RngExt for StdRng {
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers (mirrors `rand::seq`).
+
+    use super::{RngExt, StdRng};
+
+    /// Slice shuffling (mirrors `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle(&mut self, rng: &mut StdRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle(&mut self, rng: &mut StdRng) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u = rng.random_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let i = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+            let f = rng.random_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let d = rng.random_range(1e-12f64..1.0);
+            assert!((1e-12..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -66,6 +66,7 @@ pub mod prelude {
 
 pub use dtc_baselines as baselines;
 pub use dtc_core as core;
+pub use dtc_par as par;
 pub use dtc_datasets as datasets;
 pub use dtc_formats as formats;
 pub use dtc_gnn as gnn;
