@@ -7,7 +7,9 @@
 //! targets, where [`dtc_formats::BellMatrix::fill_ratio`] collapses and the
 //! ELL padding can exhaust device memory (Fig 12: DTC wins 1.14–23.51×).
 
-use crate::util::{check_spmm_dims, distinct_col_count, estimate_b_hit_rate, push_b_row_sectors, sectors_per_b_row};
+use crate::util::{
+    check_spmm_dims, distinct_col_count, estimate_b_hit_rate, push_b_row_sectors, sectors_per_b_row,
+};
 use crate::SpmmKernel;
 use dtc_formats::tf32::round_to_tf32;
 use dtc_formats::{BellMatrix, CsrMatrix, DenseMatrix, FormatError};
@@ -164,10 +166,7 @@ mod tests {
     #[test]
     fn oom_propagates() {
         let a = power_law(256, 256, 8.0, 2.0, 2);
-        assert!(matches!(
-            BlockSpmm::new(&a, 32, 1000),
-            Err(FormatError::OutOfMemory { .. })
-        ));
+        assert!(matches!(BlockSpmm::new(&a, 32, 1000), Err(FormatError::OutOfMemory { .. })));
     }
 
     #[test]
@@ -176,11 +175,14 @@ mod tests {
         // (few blocks): the scattered one does far more TC work.
         let scattered: Vec<(usize, usize, f32)> =
             (0..64).map(|i| (i, (i * 37) % 64, 1.0)).collect();
-        let clustered: Vec<(usize, usize, f32)> =
-            (0..64).map(|i| (i % 16, i % 16, 1.0)).collect();
+        let clustered: Vec<(usize, usize, f32)> = (0..64).map(|i| (i % 16, i % 16, 1.0)).collect();
         let device = Device::rtx4090();
-        let ks = BlockSpmm::new(&CsrMatrix::from_triplets(64, 64, &scattered).unwrap(), 16, u64::MAX).unwrap();
-        let kc = BlockSpmm::new(&CsrMatrix::from_triplets(64, 64, &clustered).unwrap(), 16, u64::MAX).unwrap();
+        let ks =
+            BlockSpmm::new(&CsrMatrix::from_triplets(64, 64, &scattered).unwrap(), 16, u64::MAX)
+                .unwrap();
+        let kc =
+            BlockSpmm::new(&CsrMatrix::from_triplets(64, 64, &clustered).unwrap(), 16, u64::MAX)
+                .unwrap();
         let ts = ks.trace(128, &device, false);
         let tc = kc.trace(128, &device, false);
         assert!(ts.total_hmma_ops() > tc.total_hmma_ops() * 2.0);

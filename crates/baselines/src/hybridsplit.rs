@@ -149,8 +149,7 @@ impl SpmmKernel for HybridSplitSpmm {
                     }
                 }
             }
-            let lsu_b: f64 =
-                w.blocks().map(|b| b.cols.len() as f64 * b_row_sectors).sum();
+            let lsu_b: f64 = w.blocks().map(|b| b.cols.len() as f64 * b_row_sectors).sum();
             total_b_sectors += lsu_b;
             trace.push(TbWork {
                 alu_ops: nblk * n_f / 4.0,

@@ -96,14 +96,23 @@ pub trait SpmmKernel {
     /// the trace carries B-access sector addresses for L2 simulation.
     fn trace(&self, n: usize, device: &Device, record_b_addrs: bool) -> KernelTrace;
 
+    /// Lowers and simulates in one call under explicit [`SimOptions`] —
+    /// the single simulation entry point every engine shares. B-access
+    /// addresses are recorded exactly when `options.simulate_l2` needs
+    /// them. [`simulate`](Self::simulate) and
+    /// [`simulate_with_l2`](Self::simulate_with_l2) are thin wrappers.
+    fn simulate_with(&self, n: usize, device: &Device, options: &SimOptions) -> SimReport {
+        dtc_sim::simulate(device, &self.trace(n, device, options.simulate_l2), options)
+    }
+
     /// Convenience: lower and simulate in one call (no L2 simulation).
     fn simulate(&self, n: usize, device: &Device) -> SimReport {
-        dtc_sim::simulate(device, &self.trace(n, device, false), &SimOptions::default())
+        self.simulate_with(n, device, &SimOptions::default())
     }
 
     /// Convenience: lower with recorded addresses and simulate the L2.
     fn simulate_with_l2(&self, n: usize, device: &Device) -> SimReport {
-        dtc_sim::simulate(device, &self.trace(n, device, true), &SimOptions { simulate_l2: true, ..SimOptions::default() })
+        self.simulate_with(n, device, &SimOptions { simulate_l2: true, ..SimOptions::default() })
     }
 
     /// Total floating-point operations for an `N`-column SpMM: `2·N·NNZ`.

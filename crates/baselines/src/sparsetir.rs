@@ -7,8 +7,7 @@
 //! "compilation" cost is exposed via [`SparseTirSpmm::compile_cost_ms`].
 
 use crate::util::{
-    check_spmm_dims, distinct_col_count, estimate_b_hit_rate, n_tiles, push_b_tile_sectors,
-    N_TILE,
+    check_spmm_dims, distinct_col_count, estimate_b_hit_rate, n_tiles, push_b_tile_sectors, N_TILE,
 };
 use crate::SpmmKernel;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
@@ -118,7 +117,13 @@ impl SpmmKernel for SparseTirSpmm {
                         real_nnz += cols.len();
                         if record_b_addrs {
                             for &c in cols {
-                                push_b_tile_sectors(&mut addrs, c as usize, n, tile_first, tile_sectors as u64);
+                                push_b_tile_sectors(
+                                    &mut addrs,
+                                    c as usize,
+                                    n,
+                                    tile_first,
+                                    tile_sectors as u64,
+                                );
                             }
                         }
                     }
@@ -149,7 +154,13 @@ impl SpmmKernel for SparseTirSpmm {
                     max_row = max_row.max(cols.len());
                     if record_b_addrs {
                         for &c in cols {
-                            push_b_tile_sectors(&mut addrs, c as usize, n, tile_first, tile_sectors as u64);
+                            push_b_tile_sectors(
+                                &mut addrs,
+                                c as usize,
+                                n,
+                                tile_first,
+                                tile_sectors as u64,
+                            );
                         }
                     }
                 }

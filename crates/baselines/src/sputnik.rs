@@ -3,8 +3,7 @@
 //! the paper's evaluation.
 
 use crate::util::{
-    check_spmm_dims, distinct_col_count, estimate_b_hit_rate, n_tiles, push_b_tile_sectors,
-    N_TILE,
+    check_spmm_dims, distinct_col_count, estimate_b_hit_rate, n_tiles, push_b_tile_sectors, N_TILE,
 };
 use crate::SpmmKernel;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
@@ -96,10 +95,10 @@ impl SpmmKernel for SputnikSpmm {
             let mut tile_rows = 0usize;
             let mut addrs: Vec<u64> = Vec::new();
             let flush = |tile_nnz: &mut usize,
-                             tile_rows: &mut usize,
-                             addrs: &mut Vec<u64>,
-                             trace: &mut KernelTrace,
-                             total_b: &mut f64| {
+                         tile_rows: &mut usize,
+                         addrs: &mut Vec<u64>,
+                         trace: &mut KernelTrace,
+                         total_b: &mut f64| {
                 if *tile_nnz == 0 {
                     return;
                 }
@@ -140,7 +139,13 @@ impl SpmmKernel for SputnikSpmm {
                     }
                     tile_nnz += 1;
                     if tile_nnz >= NNZ_PER_TILE {
-                        flush(&mut tile_nnz, &mut tile_rows, &mut addrs, &mut trace, &mut total_b_sectors);
+                        flush(
+                            &mut tile_nnz,
+                            &mut tile_rows,
+                            &mut addrs,
+                            &mut trace,
+                            &mut total_b_sectors,
+                        );
                     }
                 }
             }

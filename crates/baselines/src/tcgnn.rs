@@ -14,8 +14,7 @@
 //! 4. **One thread block per row window** — the load imbalance of Fig 3.
 
 use crate::util::{
-    check_spmm_dims, distinct_col_count, estimate_b_hit_rate, push_b_row_sectors,
-    sectors_per_b_row,
+    check_spmm_dims, distinct_col_count, estimate_b_hit_rate, push_b_row_sectors, sectors_per_b_row,
 };
 use crate::SpmmKernel;
 use dtc_formats::tf32::round_to_tf32;
@@ -217,7 +216,12 @@ mod tests {
         let r1 = TcgnnSpmm::new(&type1).unwrap().simulate(128, &device);
         let r2 = TcgnnSpmm::new(&type2).unwrap().simulate(128, &device);
         assert!(r1.imad_per_hmma > 5.0 && r1.imad_per_hmma < 40.0, "{}", r1.imad_per_hmma);
-        assert!(r2.imad_per_hmma > r1.imad_per_hmma * 2.0, "{} vs {}", r2.imad_per_hmma, r1.imad_per_hmma);
+        assert!(
+            r2.imad_per_hmma > r1.imad_per_hmma * 2.0,
+            "{} vs {}",
+            r2.imad_per_hmma,
+            r1.imad_per_hmma
+        );
     }
 
     #[test]

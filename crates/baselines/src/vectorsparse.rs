@@ -7,8 +7,7 @@
 //! ahead (Fig 12).
 
 use crate::util::{
-    check_spmm_dims, distinct_col_count, estimate_b_hit_rate, push_b_row_sectors,
-    sectors_per_b_row,
+    check_spmm_dims, distinct_col_count, estimate_b_hit_rate, push_b_row_sectors, sectors_per_b_row,
 };
 use crate::SpmmKernel;
 use dtc_formats::tf32::round_to_tf32;

@@ -27,9 +27,7 @@ fn bench_trace_lowering(c: &mut Criterion) {
     let device = Device::rtx4090();
     let mut group = c.benchmark_group("trace_4096x4096_n128");
     let dtc = DtcKernel::new(&a);
-    group.bench_function("dtc", |bench| {
-        bench.iter(|| black_box(dtc.trace(128, &device, false)))
-    });
+    group.bench_function("dtc", |bench| bench.iter(|| black_box(dtc.trace(128, &device, false))));
     let bal = BalancedDtcKernel::new(&a);
     group.bench_function("dtc_balanced", |bench| {
         bench.iter(|| black_box(bal.trace(128, &device, false)))
@@ -51,7 +49,8 @@ fn bench_simulation(c: &mut Criterion) {
     let dtc = DtcKernel::new(&a);
     let trace = dtc.trace(128, &device, false);
     c.bench_function("simulate_trace", |bench| {
-        bench.iter(|| black_box(dtc_sim::simulate(&device, &trace, &dtc_sim::SimOptions::default())))
+        bench
+            .iter(|| black_box(dtc_sim::simulate(&device, &trace, &dtc_sim::SimOptions::default())))
     });
 }
 

@@ -25,8 +25,7 @@ fn bench_minhash(c: &mut Criterion) {
 fn bench_lsh(c: &mut Criterion) {
     let a = gen::community(4096, 4096, 128, 12.0, 0.9, 22);
     let hasher = MinHasher::new(32, 8);
-    let sigs: Vec<Vec<u64>> =
-        (0..a.rows()).map(|r| hasher.signature(a.row_entries(r).0)).collect();
+    let sigs: Vec<Vec<u64>> = (0..a.rows()).map(|r| hasher.signature(a.row_entries(r).0)).collect();
     c.bench_function("lsh_pairs_4096", |b| {
         b.iter(|| black_box(lsh_candidate_pairs(&hasher, &sigs, &LshParams::default())))
     });

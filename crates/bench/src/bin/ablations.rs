@@ -47,11 +47,7 @@ fn blocks_per_tb_sweep(device: &Device) {
     for group in [8usize, 16, 32, 64, 128] {
         let k = BalancedDtcKernel::new(&a).with_blocks_per_tb(group);
         let r = k.simulate(128, device);
-        rows.push(vec![
-            format!("{group}"),
-            format!("{:.4}", r.time_ms),
-            format!("{}", r.num_tbs),
-        ]);
+        rows.push(vec![format!("{group}"), format!("{:.4}", r.time_ms), format!("{}", r.num_tbs)]);
     }
     print_table(
         "Ablation 2: strict-balance TC-block group size on ddi (paper picks 32)",
@@ -136,11 +132,7 @@ fn precision_sweep(device: &Device) {
         // relative error explodes on near-cancelled outputs).
         let scale = reference.frobenius_norm() / (reference.as_slice().len() as f32).sqrt();
         let err = k.execute(&b).expect("dims agree").max_abs_diff(&reference) / scale;
-        rows.push(vec![
-            precision.name().to_owned(),
-            format!("{time:.4}"),
-            format!("{err:.2e}"),
-        ]);
+        rows.push(vec![precision.name().to_owned(), format!("{time:.4}"), format!("{err:.2e}")]);
     }
     print_table(
         "Ablation 5: Tensor-Core input precision on protein (§7 extension)",
@@ -177,6 +169,7 @@ fn gcn_depth_sweep(device: &Device) {
 }
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     let device = scaled_device(Device::rtx4090());
     block_height_sweep();
     blocks_per_tb_sweep(&device);

@@ -6,7 +6,7 @@
 //!   SuiteSparse stand-in corpus (sorted by DTC-SpMM GFLOPS) plus geomean
 //!   speedups.
 
-use dtc_baselines::{CusparseSpmm, SparseTirSpmm, SputnikSpmm, SpmmKernel, TcgnnSpmm};
+use dtc_baselines::{CusparseSpmm, SparseTirSpmm, SpmmKernel, SputnikSpmm, TcgnnSpmm};
 use dtc_bench::{fig11_lineup, fmt_x, geomean, print_table, row_scale};
 use dtc_core::DtcSpmm;
 use dtc_datasets::{representative, scaled_device, suite_corpus};
@@ -34,9 +34,7 @@ fn representative_mode(device: &Device, ns: &[usize]) {
                 speedups = vec![vec![0.0; datasets.len()]; method_names.len()];
             }
             let cus = lineup[0].1.clone().expect("cuSPARSE always runs");
-            per_n.push(
-                lineup.iter().map(|(_, t)| t.as_ref().ok().map(|&ms| cus / ms)).collect(),
-            );
+            per_n.push(lineup.iter().map(|(_, t)| t.as_ref().ok().map(|&ms| cus / ms)).collect());
         }
         for (mi, _) in method_names.iter().enumerate() {
             let vals: Vec<f64> = per_n.iter().filter_map(|row| row[mi]).collect();
@@ -145,6 +143,7 @@ fn extended_mode(device: &Device) {
 }
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     let device = scaled_device(Device::rtx4090());
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--suite") {

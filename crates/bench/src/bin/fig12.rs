@@ -15,6 +15,7 @@ use dtc_datasets::{representative, scaled_device};
 use dtc_sim::Device;
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     let device = scaled_device(Device::rtx4090());
     let n = 128;
     let mut rows = Vec::new();
@@ -26,7 +27,11 @@ fn main() {
             row.push(match BlockSpmm::new(&a, bs, device.global_mem_bytes) {
                 Ok(k) => {
                     let fill = k.bell().fill_ratio();
-                    format!("{} (fill {:.1}%)", fmt_x(k.simulate(n, &device).time_ms / dtc), fill * 100.0)
+                    format!(
+                        "{} (fill {:.1}%)",
+                        fmt_x(k.simulate(n, &device).time_ms / dtc),
+                        fill * 100.0
+                    )
                 }
                 Err(_) => "OOM".into(),
             });

@@ -92,11 +92,7 @@ fn panel_b(datasets: &[(String, CsrMatrix)], device: &Device) {
         let dtc_gain = (dtc_before / dtc_after - 1.0) * 100.0;
         let cus_gain = (cus_before / cus_after - 1.0) * 100.0;
         gains_dtc.push(dtc_gain);
-        rows.push(vec![
-            abbr.clone(),
-            format!("{dtc_gain:+.2}%"),
-            format!("{cus_gain:+.2}%"),
-        ]);
+        rows.push(vec![abbr.clone(), format!("{dtc_gain:+.2}%"), format!("{cus_gain:+.2}%")]);
     }
     print_table(
         "Figure 13b: throughput gain from TCA reordering (N=128)",
@@ -116,10 +112,7 @@ fn panel_c(datasets: &[(String, CsrMatrix)], device: &Device) {
     for (abbr, a) in datasets {
         let hit = |r: &dyn Reorderer| -> f64 {
             let m = a.permute_rows(&r.reorder(a));
-            DtcKernel::new(&m)
-                .simulate_with_l2(n, device)
-                .l2_hit_rate
-                .expect("cache simulated")
+            DtcKernel::new(&m).simulate_with_l2(n, device).l2_hit_rate.expect("cache simulated")
                 * 100.0
         };
         rows.push(vec![
@@ -142,6 +135,7 @@ fn panel_c(datasets: &[(String, CsrMatrix)], device: &Device) {
 }
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     let device = scaled_device(Device::rtx4090());
     let datasets: Vec<(String, CsrMatrix)> =
         representative().into_iter().map(|d| (d.abbr.clone(), d.matrix())).collect();

@@ -9,6 +9,7 @@ use dtc_datasets::{representative, scaled_device, DatasetKind};
 use dtc_sim::Device;
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     let device = scaled_device(Device::rtx4090());
     let n = 128;
     let ladder = KernelOpts::ablation_ladder();
@@ -38,7 +39,11 @@ fn main() {
         .chain(ladder.iter().map(|(l, _)| l.to_string()))
         .collect();
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-    print_table("Figure 14: TC pipeline utilization along the ablation ladder", &headers_ref, &util_rows);
+    print_table(
+        "Figure 14: TC pipeline utilization along the ablation ladder",
+        &headers_ref,
+        &util_rows,
+    );
     print_table("Figure 14: #IMAD/#HMMA along the ablation ladder", &headers_ref, &ratio_rows);
     print_table("Figure 14: kernel time (ms) along the ablation ladder", &headers_ref, &time_rows);
     println!(

@@ -19,6 +19,7 @@ fn spread(fractions: &[f64]) -> (f64, f64) {
 }
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     let device = scaled_device(Device::rtx4090());
     let n = 128;
     let selector = Selector::default();

@@ -27,14 +27,8 @@ fn run_device(device: &Device) {
     for hidden in [128usize, 256] {
         for d in graphs() {
             let a = d.matrix_cached();
-            let config = TrainConfig {
-                epochs: 200,
-                hidden,
-                features: 64,
-                classes: 8,
-                lr: 0.05,
-                seed: 7,
-            };
+            let config =
+                TrainConfig { epochs: 200, hidden, features: 64, classes: 8, lr: 0.05, seed: 7 };
             // Time accounting only needs the per-epoch simulated times; cap
             // the real CPU training that runs alongside.
             let cheap = TrainConfig { epochs: 2, ..config };
@@ -77,6 +71,7 @@ fn run_device(device: &Device) {
 }
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     run_device(&scaled_device(Device::rtx4090()));
     run_device(&scaled_device(Device::rtx3090()));
     println!(

@@ -24,6 +24,7 @@ fn histogram(label: &str, fractions: &[f64]) {
 }
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     let device = scaled_device(Device::rtx4090());
     let n = 128;
     println!("## Figure 3: per-SM execution/idle time under TCGNN-SpMM (RTX4090 model)");

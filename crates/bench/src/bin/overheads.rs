@@ -12,6 +12,7 @@ use dtc_sim::Device;
 use std::time::Instant;
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     let device = scaled_device(Device::rtx4090());
     let n = 128;
     let mut rows = Vec::new();

@@ -19,6 +19,7 @@ const REPS: usize = 3;
 const N: usize = 64;
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     // Representative of the paper's mid-size graph suite: power-law-ish
     // community structure, ~0.8 M non-zeros over 12 K rows.
     let rows = 12 * 1024;
@@ -112,5 +113,7 @@ fn main() {
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
-    println!("wrote BENCH_parallel.json (max speedup {max_speedup:.2}x on {host_threads}-thread host)");
+    println!(
+        "wrote BENCH_parallel.json (max speedup {max_speedup:.2}x on {host_threads}-thread host)"
+    );
 }

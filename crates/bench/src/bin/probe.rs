@@ -5,6 +5,7 @@ use dtc_datasets::{representative, scaled_device};
 use dtc_sim::Device;
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     let device = scaled_device(Device::rtx4090());
     let n = 128;
     for d in representative() {

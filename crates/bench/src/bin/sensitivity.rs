@@ -19,6 +19,7 @@ fn speedup(a: &CsrMatrix, device: &Device) -> f64 {
 }
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     let base = scaled_device(Device::rtx4090());
     let type1 = representative().into_iter().find(|d| d.abbr == "DD").expect("dataset").matrix();
     let type2 =
@@ -82,11 +83,7 @@ fn main() {
     for sms in [32usize, 64, 128, 256] {
         let mut d = base.clone();
         d.num_sms = sms;
-        rows.push(vec![
-            format!("{sms}"),
-            fmt_x(speedup(&type1, &d)),
-            fmt_x(speedup(&type2, &d)),
-        ]);
+        rows.push(vec![format!("{sms}"), fmt_x(speedup(&type1, &d)), fmt_x(speedup(&type2, &d))]);
     }
     print_table("Sensitivity 4: SM count", &["SMs", "DD (Type I)", "protein (Type II)"], &rows);
     println!(

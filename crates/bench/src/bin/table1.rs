@@ -5,6 +5,7 @@ use dtc_bench::print_table;
 use dtc_datasets::{representative, DatasetKind};
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     let mut rows = Vec::new();
     for d in representative() {
         let s = d.stats();
@@ -28,8 +29,15 @@ fn main() {
     print_table(
         "Table 1: representative matrices (paper vs. scaled stand-in)",
         &[
-            "Type", "Name", "Abbr", "M&K (paper)", "NNZ (paper)", "AvgRowL (paper)",
-            "M&K (ours)", "NNZ (ours)", "AvgRowL (ours)",
+            "Type",
+            "Name",
+            "Abbr",
+            "M&K (paper)",
+            "NNZ (paper)",
+            "AvgRowL (paper)",
+            "M&K (ours)",
+            "NNZ (ours)",
+            "AvgRowL (ours)",
         ],
         &rows,
     );

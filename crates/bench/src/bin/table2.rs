@@ -24,6 +24,7 @@ fn paper_values(abbr: &str) -> (f64, f64, f64) {
 }
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     let device = scaled_device(Device::rtx4090());
     let n = 128;
     let mut rows = Vec::new();

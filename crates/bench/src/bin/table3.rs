@@ -2,7 +2,7 @@
 //! models — the fraction of matrices in each speedup bucket and the
 //! geomean speedup of DTC-SpMM over each baseline.
 
-use dtc_baselines::{CusparseSpmm, SparseTirSpmm, SputnikSpmm, SpmmKernel, TcgnnSpmm};
+use dtc_baselines::{CusparseSpmm, SparseTirSpmm, SpmmKernel, SputnikSpmm, TcgnnSpmm};
 use dtc_bench::{fmt_x, geomean, print_table};
 use dtc_core::DtcSpmm;
 use dtc_datasets::{scaled_device, suite_corpus};
@@ -78,13 +78,17 @@ fn run_device(device: &Device, paper: [&str; 5]) {
     }
     rows.push(geo);
     print_table(
-        &format!("Table 3 ({}, {} corpus matrices, N=128) — paper: {:?}", device.name, total, paper),
+        &format!(
+            "Table 3 ({}, {} corpus matrices, N=128) — paper: {:?}",
+            device.name, total, paper
+        ),
         &["DTC speedup", "vs cuSPARSE", "vs TCGNN", "vs SparseTIR", "vs Sputnik"],
         &rows,
     );
 }
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     run_device(
         &scaled_device(Device::rtx4090()),
         ["geomeans:", "2.16x", "3.25x", "1.57x", "1.46x"],

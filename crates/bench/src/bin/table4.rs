@@ -10,6 +10,7 @@ use dtc_datasets::{representative, scaled_device};
 use dtc_sim::Device;
 
 fn main() {
+    let _metrics = dtc_bench::metrics_flush_guard();
     let device = scaled_device(Device::rtx4090());
     let n = 128;
     let mut rows = Vec::new();
@@ -26,8 +27,9 @@ fn main() {
             Ok(k) => fmt_ms(k.simulate(n, &device).time_ms),
             Err(_) => "Not Supported".into(),
         };
-        let dtc =
-            fmt_ms(DtcSpmm::builder().device(device.clone()).build(&a).simulate(n, &device).time_ms);
+        let dtc = fmt_ms(
+            DtcSpmm::builder().device(device.clone()).build(&a).simulate(n, &device).time_ms,
+        );
         rows.push(vec![
             d.abbr.clone(),
             flash(FlashLlmVersion::V1),

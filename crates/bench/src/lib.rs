@@ -45,6 +45,26 @@ pub fn scaled_sparta_limit(scale: f64) -> usize {
     ((50_000.0 / scale.max(1.0)) as usize).max(1)
 }
 
+/// Flushes the telemetry registry to the `DTC_METRICS` sink (if set) when
+/// dropped. Every binary takes one of these at the top of `main` so the
+/// snapshot lands even on early returns; announces the written path.
+#[derive(Debug)]
+pub struct MetricsFlushGuard(());
+
+impl Drop for MetricsFlushGuard {
+    fn drop(&mut self) {
+        if let Some(path) = dtc_telemetry::flush_env_sink() {
+            eprintln!("metrics snapshot written to {}", path.display());
+        }
+    }
+}
+
+/// Arms the end-of-process metrics flush; see [`MetricsFlushGuard`].
+#[must_use = "bind to a variable so the flush happens at end of main"]
+pub fn metrics_flush_guard() -> MetricsFlushGuard {
+    MetricsFlushGuard(())
+}
+
 /// Formats a simulated time in ms with sensible precision.
 pub fn fmt_ms(ms: f64) -> String {
     if ms >= 1.0 {
@@ -130,10 +150,7 @@ pub fn extended_lineup(
         ("cuSPARSE".into(), time(&CusparseSpmm::new(a))),
         ("HP-SpMM".into(), time(&HpSpmm::new(a))),
         ("HybridSplit".into(), time(&HybridSplitSpmm::new(a))),
-        (
-            "DTC-SpMM".into(),
-            time(&dtc_core::DtcSpmm::builder().device(device.clone()).build(a)),
-        ),
+        ("DTC-SpMM".into(), time(&dtc_core::DtcSpmm::builder().device(device.clone()).build(a))),
     ]
 }
 

@@ -9,13 +9,15 @@
 //! nothing else (device, kernel options and precision only affect traces,
 //! which are cached per engine — see `DtcSpmm::trace`).
 //!
-//! Hit/miss counters are exposed through [`conversion_cache_stats`] so
-//! tests and benchmarks can observe that repeated `build`/`execute` runs do
-//! not re-convert.
+//! Hit/miss counts live in the process-wide [`dtc_telemetry`] registry
+//! (`core.cache.conversion.hits` / `.misses`) so they appear in every
+//! metrics snapshot; [`conversion_cache_stats`] remains as a thin reader
+//! over the registry so tests and benchmarks can observe that repeated
+//! `build`/`execute` runs do not re-convert.
 
+use crate::telemetry::{conversion_cache_hits, conversion_cache_misses};
 use dtc_formats::{CsrMatrix, MeTcfMatrix};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// One cached conversion: the ME-TCF build plus the distinct-column count
@@ -34,8 +36,6 @@ pub struct CachedConversion {
 const CACHE_CAP: usize = 64;
 
 static CACHE: OnceLock<Mutex<HashMap<u64, Arc<CachedConversion>>>> = OnceLock::new();
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// FNV-1a over the matrix's full structure and value bits.
 pub fn matrix_key(a: &CsrMatrix) -> u64 {
@@ -64,10 +64,10 @@ pub fn metcf_for(a: &CsrMatrix) -> Arc<CachedConversion> {
     let key = matrix_key(a);
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(hit) = cache.lock().unwrap().get(&key) {
-        HITS.fetch_add(1, Ordering::Relaxed);
+        conversion_cache_hits().incr();
         return Arc::clone(hit);
     }
-    MISSES.fetch_add(1, Ordering::Relaxed);
+    conversion_cache_misses().incr();
     // Convert outside the lock: conversion fans out over worker threads and
     // other engines' lookups should not wait on it.
     let built = Arc::new(CachedConversion {
@@ -82,9 +82,10 @@ pub fn metcf_for(a: &CsrMatrix) -> Arc<CachedConversion> {
     built
 }
 
-/// `(hits, misses)` of the process-wide conversion cache.
+/// `(hits, misses)` of the process-wide conversion cache — a thin wrapper
+/// over the `core.cache.conversion.*` registry counters.
 pub fn conversion_cache_stats() -> (u64, u64) {
-    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+    (conversion_cache_hits().get(), conversion_cache_misses().get())
 }
 
 /// Empties the cache (counters are left running; tests diff them instead).

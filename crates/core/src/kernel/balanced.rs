@@ -248,9 +248,8 @@ mod tests {
     fn atomics_present_only_with_split_windows() {
         // A matrix with one giant window (many blocks) must split and emit
         // atomics.
-        let t: Vec<(usize, usize, f32)> = (0..16)
-            .flat_map(|r| (0..640).map(move |j| (r, j, 1.0)))
-            .collect();
+        let t: Vec<(usize, usize, f32)> =
+            (0..16).flat_map(|r| (0..640).map(move |j| (r, j, 1.0))).collect();
         let a = CsrMatrix::from_triplets(16, 640, &t).unwrap();
         let k = BalancedDtcKernel::new(&a);
         let trace = k.trace(64, &Device::rtx4090(), false);

@@ -3,8 +3,7 @@
 
 use super::{execute_metcf, KernelOpts};
 use dtc_baselines::util::{
-    check_spmm_dims, distinct_col_count, estimate_b_hit_rate, push_b_row_sectors,
-    sectors_per_b_row,
+    check_spmm_dims, distinct_col_count, estimate_b_hit_rate, push_b_row_sectors, sectors_per_b_row,
 };
 use dtc_baselines::SpmmKernel;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError, MeTcfMatrix, Precision};
@@ -188,8 +187,7 @@ impl SpmmKernel for DtcKernel {
             tb.iters = blocks.len() as f64;
             let tc_mult = self.precision.tc_throughput_multiplier();
             for t in blocks {
-                let cost =
-                    Self::block_cost(&self.metcf, self.opts, t, n_f, b_row_sectors);
+                let cost = Self::block_cost(&self.metcf, self.opts, t, n_f, b_row_sectors);
                 tb.alu_ops += cost.alu;
                 tb.smem_ops += cost.smem;
                 tb.hmma_ops += cost.hmma_ops / tc_mult;
@@ -305,8 +303,7 @@ mod tests {
         let a = power_law(96, 96, 5.0, 2.2, 70);
         let b = DenseMatrix::from_fn(96, 8, |r, c| ((r * 13 + c * 7) % 23) as f32 * 0.137);
         let reference = a.spmm_reference(&b).unwrap();
-        let tf32_err =
-            DtcKernel::new(&a).execute(&b).unwrap().max_abs_diff(&reference);
+        let tf32_err = DtcKernel::new(&a).execute(&b).unwrap().max_abs_diff(&reference);
         let bf16_err = DtcKernel::new(&a)
             .with_precision(Precision::Bf16)
             .execute(&b)

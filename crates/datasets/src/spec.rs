@@ -156,7 +156,15 @@ impl MatrixSpec {
                 p_in,
                 shuffle_frac,
                 seed,
-            } => gen::community_with_shuffle(rows, cols, communities, avg_deg, p_in, shuffle_frac, seed),
+            } => gen::community_with_shuffle(
+                rows,
+                cols,
+                communities,
+                avg_deg,
+                p_in,
+                shuffle_frac,
+                seed,
+            ),
             MatrixSpec::Web { rows, cols, avg_deg, alpha, locality, seed } => {
                 gen::web(rows, cols, avg_deg, alpha, locality, seed)
             }
@@ -176,8 +184,20 @@ mod tests {
         let specs = vec![
             MatrixSpec::Uniform { rows: 64, cols: 64, nnz: 256, seed: 1 },
             MatrixSpec::PowerLaw { rows: 64, cols: 64, avg_deg: 4.0, alpha: 2.2, seed: 2 },
-            MatrixSpec::Rmat { scale: 6, edge_factor: 4.0, probs: (0.57, 0.19, 0.19, 0.05), seed: 3 },
-            MatrixSpec::Community { rows: 64, cols: 64, communities: 4, avg_deg: 4.0, p_in: 0.9, seed: 4 },
+            MatrixSpec::Rmat {
+                scale: 6,
+                edge_factor: 4.0,
+                probs: (0.57, 0.19, 0.19, 0.05),
+                seed: 3,
+            },
+            MatrixSpec::Community {
+                rows: 64,
+                cols: 64,
+                communities: 4,
+                avg_deg: 4.0,
+                p_in: 0.9,
+                seed: 4,
+            },
             MatrixSpec::LongRow { rows: 32, cols: 128, avg_deg: 40.0, cv: 0.5, seed: 5 },
             MatrixSpec::DlPruned { rows: 32, cols: 32, sparsity: 0.8, seed: 6 },
         ];

@@ -63,17 +63,31 @@ pub fn suite_corpus() -> Vec<Dataset> {
             push(
                 format!("mesh_{rows}_{bw}_{avg}"),
                 DatasetKind::TypeI,
-                MatrixSpec::Banded { rows, cols: rows, bandwidth: bw, avg_deg: avg, seed: 0xB000 + idx },
+                MatrixSpec::Banded {
+                    rows,
+                    cols: rows,
+                    bandwidth: bw,
+                    avg_deg: avg,
+                    seed: 0xB000 + idx,
+                },
             );
         }
     }
     for &rows in &[6144usize, 12288] {
-        for &(bw, avg) in &[(12usize, 5.0), (24, 9.0), (48, 18.0), (96, 36.0), (128, 48.0), (192, 72.0)] {
+        for &(bw, avg) in
+            &[(12usize, 5.0), (24, 9.0), (48, 18.0), (96, 36.0), (128, 48.0), (192, 72.0)]
+        {
             idx += 1;
             push(
                 format!("mesh_{rows}_{bw}_{avg}"),
                 if avg >= 64.0 { DatasetKind::TypeII } else { DatasetKind::TypeI },
-                MatrixSpec::Banded { rows, cols: rows, bandwidth: bw, avg_deg: avg, seed: 0xB000 + idx },
+                MatrixSpec::Banded {
+                    rows,
+                    cols: rows,
+                    bandwidth: bw,
+                    avg_deg: avg,
+                    seed: 0xB000 + idx,
+                },
             );
         }
     }
@@ -122,7 +136,9 @@ pub fn suite_corpus() -> Vec<Dataset> {
     // where TC condensing gains the least (the paper's few slowdowns).
     for &scale in &[12u32, 13] {
         for &ef in &[4.0, 8.0] {
-            for probs in [(0.57, 0.19, 0.19, 0.05), (0.45, 0.22, 0.22, 0.11), (0.3, 0.25, 0.25, 0.2)] {
+            for probs in
+                [(0.57, 0.19, 0.19, 0.05), (0.45, 0.22, 0.22, 0.11), (0.3, 0.25, 0.25, 0.2)]
+            {
                 idx += 1;
                 push(
                     format!("rmat_{scale}_{ef}_{:.2}", probs.0),

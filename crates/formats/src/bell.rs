@@ -47,7 +47,11 @@ impl BellMatrix {
     /// - [`FormatError::OutOfMemory`] if the padded value storage exceeds
     ///   `device_bytes` (Block-SpMM's practical failure mode on large
     ///   unstructured matrices).
-    pub fn from_csr(a: &CsrMatrix, block_size: usize, device_bytes: u64) -> Result<Self, FormatError> {
+    pub fn from_csr(
+        a: &CsrMatrix,
+        block_size: usize,
+        device_bytes: u64,
+    ) -> Result<Self, FormatError> {
         if block_size == 0 {
             return Err(FormatError::NotSupported("block size must be positive".into()));
         }
@@ -71,7 +75,7 @@ impl BellMatrix {
         // OOM check before allocating.
         let total_blocks = num_block_rows as u64 * blocks_per_row as u64;
         let required_bytes = total_blocks
-            * (block_size as u64 * block_size as u64 * 4 /* f32 values */ + 4 /* col index */);
+            * (block_size as u64 * block_size as u64 * 4 /* f32 values */ + 4/* col index */);
         if required_bytes > device_bytes {
             return Err(FormatError::OutOfMemory { required_bytes, available_bytes: device_bytes });
         }
@@ -87,9 +91,7 @@ impl BellMatrix {
         for (r, c, v) in a.iter() {
             let br = r / block_size;
             let bc = (c / block_size) as u32;
-            let slot = per_row_blocks[br]
-                .binary_search(&bc)
-                .expect("block recorded in pass 1");
+            let slot = per_row_blocks[br].binary_search(&bc).expect("block recorded in pass 1");
             let base = (br * blocks_per_row + slot) * slot_len;
             let local = (r % block_size) * block_size + (c % block_size);
             block_values[base + local] = v;
@@ -220,12 +222,9 @@ mod tests {
     #[test]
     fn ell_padding_width() {
         // Row block 0 touches 3 block columns, row block 1 touches 1.
-        let a = CsrMatrix::from_triplets(
-            8,
-            16,
-            &[(0, 0, 1.0), (0, 5, 1.0), (0, 10, 1.0), (4, 0, 1.0)],
-        )
-        .unwrap();
+        let a =
+            CsrMatrix::from_triplets(8, 16, &[(0, 0, 1.0), (0, 5, 1.0), (0, 10, 1.0), (4, 0, 1.0)])
+                .unwrap();
         let bell = BellMatrix::from_csr(&a, 4, u64::MAX).unwrap();
         assert_eq!(bell.blocks_per_row(), 3);
         assert_eq!(bell.num_stored_blocks(), 4);

@@ -186,8 +186,7 @@ impl CsrMatrix {
 
     /// Transposed copy (CSC of the original, expressed as CSR).
     pub fn transposed(&self) -> CsrMatrix {
-        let triplets: Vec<(usize, usize, f32)> =
-            self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        let triplets: Vec<(usize, usize, f32)> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
         CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
             .expect("transposed entries stay in bounds")
     }
@@ -206,13 +205,7 @@ impl CsrMatrix {
             self.row_ptr[range.start..=range.end].iter().map(|&p| p - base).collect();
         let col_idx = self.col_idx[base..self.row_ptr[range.end]].to_vec();
         let values = self.values[base..self.row_ptr[range.end]].to_vec();
-        CsrMatrix {
-            rows: range.end - range.start,
-            cols: self.cols,
-            row_ptr,
-            col_idx,
-            values,
-        }
+        CsrMatrix { rows: range.end - range.start, cols: self.cols, row_ptr, col_idx, values }
     }
 
     /// Applies a row permutation: row `r` of the result is row `perm[r]` of

@@ -168,11 +168,7 @@ impl DenseMatrix {
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, other: &DenseMatrix) -> f32 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 
     /// Maximum relative element-wise difference, with `eps` guarding

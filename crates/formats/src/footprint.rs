@@ -83,9 +83,8 @@ mod tests {
     use super::*;
 
     fn random_square(n: usize, nnz_target: usize) -> CsrMatrix {
-        let t: Vec<(usize, usize, f32)> = (0..nnz_target)
-            .map(|i| ((i * 31) % n, (i * 17 + i / n) % n, 1.0))
-            .collect();
+        let t: Vec<(usize, usize, f32)> =
+            (0..nnz_target).map(|i| ((i * 31) % n, (i * 17 + i / n) % n, 1.0)).collect();
         CsrMatrix::from_triplets(n, n, &t).unwrap()
     }
 
@@ -123,16 +122,10 @@ mod tests {
     fn metcf_saving_improves_with_density() {
         // Condensed blocks: when rows share columns, NumTCBlock shrinks and
         // ME-TCF beats CSR.
-        let t: Vec<(usize, usize, f32)> = (0..16)
-            .flat_map(|r| (0..32).map(move |j| (r, j * 4, 1.0)))
-            .collect();
+        let t: Vec<(usize, usize, f32)> =
+            (0..16).flat_map(|r| (0..32).map(move |j| (r, j * 4, 1.0))).collect();
         let a = CsrMatrix::from_triplets(16, 128, &t).unwrap();
         let fp = footprint_of(&a);
-        assert!(
-            fp.metcf_saving_vs_csr_pct() > 0.0,
-            "metcf={} csr={}",
-            fp.metcf,
-            fp.csr
-        );
+        assert!(fp.metcf_saving_vs_csr_pct() > 0.0, "metcf={} csr={}", fp.metcf, fp.csr);
     }
 }

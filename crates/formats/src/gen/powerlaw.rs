@@ -34,10 +34,8 @@ pub fn power_law(rows: usize, cols: usize, avg_deg: f64, alpha: f64, seed: u64) 
         .collect();
     let raw_mean = raw.iter().sum::<f64>() / rows.max(1) as f64;
     let scale = if raw_mean > 0.0 { avg_deg / raw_mean } else { 0.0 };
-    let degrees: Vec<usize> = raw
-        .iter()
-        .map(|&d| ((d * scale).round().max(1.0) as usize).min(cols))
-        .collect();
+    let degrees: Vec<usize> =
+        raw.iter().map(|&d| ((d * scale).round().max(1.0) as usize).min(cols)).collect();
     // Column popularity ~ power law: u^alpha concentrates mass on
     // low-rank (hub) columns; larger alpha means stronger hubs.
     from_row_degrees(rows, cols, &degrees, &mut rng, move |rng, _| {

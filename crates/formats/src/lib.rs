@@ -62,7 +62,7 @@ pub use csr::CsrMatrix;
 pub use cvse::CvseMatrix;
 pub use dense::DenseMatrix;
 pub use error::FormatError;
-pub use precision::Precision;
 pub use metcf::{MeTcfMatrix, PAD_COL};
+pub use precision::Precision;
 pub use sgt::{Condensed, RowWindow, TcBlock, BLOCK_WIDTH, WINDOW_HEIGHT};
 pub use tcf::TcfMatrix;

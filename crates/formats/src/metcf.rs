@@ -227,11 +227,7 @@ impl MeTcfMatrix {
                 for (&id, &v) in ids.iter().zip(vals) {
                     let local_row = (id / BLOCK_WIDTH as u8) as usize;
                     let local_col = (id % BLOCK_WIDTH as u8) as usize;
-                    triplets.push((
-                        w * WINDOW_HEIGHT + local_row,
-                        cols[local_col] as usize,
-                        v,
-                    ));
+                    triplets.push((w * WINDOW_HEIGHT + local_row, cols[local_col] as usize, v));
                 }
             }
         }

@@ -60,7 +60,10 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<CsrMatrix, FormatError> {
         return Err(FormatError::NotSupported(format!("bad mtx header: {header}")));
     }
     if head[2] != "coordinate" {
-        return Err(FormatError::NotSupported(format!("only coordinate mtx supported, got {}", head[2])));
+        return Err(FormatError::NotSupported(format!(
+            "only coordinate mtx supported, got {}",
+            head[2]
+        )));
     }
     let field = match head[3].as_str() {
         "real" => MtxField::Real,
@@ -72,7 +75,9 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<CsrMatrix, FormatError> {
         "general" => MtxSymmetry::General,
         "symmetric" => MtxSymmetry::Symmetric,
         "skew-symmetric" => MtxSymmetry::SkewSymmetric,
-        other => return Err(FormatError::NotSupported(format!("unsupported mtx symmetry {other}"))),
+        other => {
+            return Err(FormatError::NotSupported(format!("unsupported mtx symmetry {other}")))
+        }
     };
 
     // Size line (first non-comment line).
@@ -90,7 +95,9 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<CsrMatrix, FormatError> {
         size_line.ok_or_else(|| FormatError::NotSupported("mtx stream has no size line".into()))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| FormatError::NotSupported(format!("bad size line: {size_line}"))))
+        .map(|t| {
+            t.parse().map_err(|_| FormatError::NotSupported(format!("bad size line: {size_line}")))
+        })
         .collect::<Result<_, _>>()?;
     let [rows, cols, nnz] = dims[..] else {
         return Err(FormatError::NotSupported(format!("bad size line: {size_line}")));

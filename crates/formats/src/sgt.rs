@@ -314,9 +314,8 @@ mod tests {
 
     #[test]
     fn local_id_fits_in_u8() {
-        let t: Vec<(usize, usize, f32)> = (0..16)
-            .flat_map(|r| (0..8).map(move |c| (r, c, 1.0)))
-            .collect();
+        let t: Vec<(usize, usize, f32)> =
+            (0..16).flat_map(|r| (0..8).map(move |c| (r, c, 1.0))).collect();
         let a = CsrMatrix::from_triplets(16, 8, &t).unwrap();
         let c = Condensed::from_csr(&a);
         let w = c.window(0);

@@ -134,10 +134,7 @@ impl TcfMatrix {
     /// Index-array element count in 32-bit units (Observation 1):
     /// `⌈M/16⌉ + M + 1 + 3·NNZ`.
     pub fn index_elements(&self) -> u64 {
-        self.rows.div_ceil(WINDOW_HEIGHT) as u64
-            + self.rows as u64
-            + 1
-            + 3 * self.nnz() as u64
+        self.rows.div_ceil(WINDOW_HEIGHT) as u64 + self.rows as u64 + 1 + 3 * self.nnz() as u64
     }
 
     /// Reconstructs the original CSR matrix.

@@ -105,8 +105,8 @@ mod tests {
 
     #[test]
     fn fma_matches_manual() {
-        let a = 1.23456789f32;
-        let b = 9.87654321f32;
+        let a = 1.234_567_9_f32;
+        let b = 9.876_543_f32;
         let expect = round_to_tf32(a) * round_to_tf32(b) + 10.0;
         assert_eq!(tf32_fma(a, b, 10.0), expect);
     }

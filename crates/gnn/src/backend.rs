@@ -62,7 +62,11 @@ impl GnnBackend for DtcGnnBackend {
     }
 
     fn spmm(&self, transpose: bool, b: &DenseMatrix) -> Result<DenseMatrix, FormatError> {
-        if transpose { self.bwd.execute(b) } else { self.fwd.execute(b) }
+        if transpose {
+            self.bwd.execute(b)
+        } else {
+            self.fwd.execute(b)
+        }
     }
 
     fn spmm_ms(&self, transpose: bool, n: usize, device: &Device) -> f64 {
@@ -107,7 +111,11 @@ impl GnnBackend for TcgnnGnnBackend {
     }
 
     fn spmm(&self, transpose: bool, b: &DenseMatrix) -> Result<DenseMatrix, FormatError> {
-        if transpose { self.bwd.execute(b) } else { self.fwd.execute(b) }
+        if transpose {
+            self.bwd.execute(b)
+        } else {
+            self.fwd.execute(b)
+        }
     }
 
     fn spmm_ms(&self, transpose: bool, n: usize, device: &Device) -> f64 {
@@ -145,7 +153,11 @@ impl GnnBackend for DglGnnBackend {
     }
 
     fn spmm(&self, transpose: bool, b: &DenseMatrix) -> Result<DenseMatrix, FormatError> {
-        if transpose { self.bwd.execute(b) } else { self.fwd.execute(b) }
+        if transpose {
+            self.bwd.execute(b)
+        } else {
+            self.fwd.execute(b)
+        }
     }
 
     fn spmm_ms(&self, transpose: bool, n: usize, device: &Device) -> f64 {

@@ -24,10 +24,8 @@ pub fn normalize_adjacency(a: &CsrMatrix) -> CsrMatrix {
     // structure (binary adjacency semantics).
     let with_loops = CsrMatrix::from_triplets(n, n, &triplets).expect("square, in range");
     let deg: Vec<f32> = (0..n).map(|r| with_loops.row_len(r) as f32).collect();
-    let normalized: Vec<(usize, usize, f32)> = with_loops
-        .iter()
-        .map(|(r, c, _)| (r, c, 1.0 / (deg[r] * deg[c]).sqrt()))
-        .collect();
+    let normalized: Vec<(usize, usize, f32)> =
+        with_loops.iter().map(|(r, c, _)| (r, c, 1.0 / (deg[r] * deg[c]).sqrt())).collect();
     CsrMatrix::from_triplets(n, n, &normalized).expect("same structure")
 }
 

@@ -70,8 +70,10 @@ pub fn train_gcn(
     let mut rng = StdRng::seed_from_u64(config.seed);
     // Synthetic node features and community-correlated labels.
     let x = DenseMatrix::from_fn(n, config.features, |_, _| rng.random_range(-0.5f32..0.5));
-    let labels: Vec<usize> =
-        (0..n).map(|r| (r * config.classes) / n.max(1)).map(|c| c.min(config.classes - 1)).collect();
+    let labels: Vec<usize> = (0..n)
+        .map(|r| (r * config.classes) / n.max(1))
+        .map(|c| c.min(config.classes - 1))
+        .collect();
 
     // Simulated per-epoch time.
     let spmm_ms = backend.spmm_ms(false, config.features, device)

@@ -33,7 +33,7 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// `bench/src/bin/parallel_scaling.rs`); normal callers rely on
 /// `DTC_THREADS` or the detected core count.
 pub fn set_threads(threads: Option<usize>) {
-    THREAD_OVERRIDE.store(threads.unwrap_or(0).max(0), Ordering::Relaxed);
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
 }
 
 /// Resolves the number of worker threads to use right now.
@@ -110,9 +110,17 @@ where
         let f = &f;
         let handles: Vec<_> = bands
             .iter()
-            .map(|&(start, end)| scope.spawn(move || (start..end).map(f).collect::<Vec<R>>()))
+            .map(|&(start, end)| {
+                scope.spawn(move || {
+                    // Shard timing: aggregated across worker threads by the
+                    // telemetry registry (no-op unless a sink is enabled).
+                    let _shard = dtc_telemetry::span("par.shard");
+                    (start..end).map(f).collect::<Vec<R>>()
+                })
+            })
             .collect();
-        per_band = handles.into_iter().map(|h| h.join().expect("dtc-par worker panicked")).collect();
+        per_band =
+            handles.into_iter().map(|h| h.join().expect("dtc-par worker panicked")).collect();
     });
     let mut out = Vec::with_capacity(n);
     for band in per_band {
@@ -151,6 +159,7 @@ where
             rest = tail;
             let f = &f;
             handles.push(scope.spawn(move || {
+                let _shard = dtc_telemetry::span("par.shard");
                 for (i, chunk) in band.chunks_mut(chunk_size).enumerate() {
                     f(start + i, chunk);
                 }

@@ -46,11 +46,7 @@ pub fn jaccard_estimate(sig_a: &[u64], sig_b: &[u64]) -> f64 {
     if sig_a.is_empty() {
         return 0.0;
     }
-    let matches = sig_a
-        .iter()
-        .zip(sig_b)
-        .filter(|(&x, &y)| x == y && x != u64::MAX)
-        .count();
+    let matches = sig_a.iter().zip(sig_b).filter(|(&x, &y)| x == y && x != u64::MAX).count();
     matches as f64 / sig_a.len() as f64
 }
 

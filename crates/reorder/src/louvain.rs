@@ -60,9 +60,8 @@ impl Reorderer for LouvainReorderer {
                 }
                 // Adopt the dominant neighbour label (ties -> smallest
                 // label, for determinism).
-                if let Some((&best, _)) = counts
-                    .iter()
-                    .max_by_key(|&(&l, &cnt)| (cnt, std::cmp::Reverse(l)))
+                if let Some((&best, _)) =
+                    counts.iter().max_by_key(|&(&l, &cnt)| (cnt, std::cmp::Reverse(l)))
                 {
                     if best != label[r] {
                         label[r] = best;

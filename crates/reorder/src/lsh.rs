@@ -135,6 +135,10 @@ mod tests {
     fn oversized_banding_panics() {
         let h = MinHasher::new(8, 5);
         let sigs: Vec<Vec<u64>> = vec![];
-        lsh_candidate_pairs(&h, &sigs, &LshParams { bands: 4, rows_per_band: 4, max_bucket_pairs: 8 });
+        lsh_candidate_pairs(
+            &h,
+            &sigs,
+            &LshParams { bands: 4, rows_per_band: 4, max_bucket_pairs: 8 },
+        );
     }
 }

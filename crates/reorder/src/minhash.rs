@@ -42,9 +42,7 @@ impl MinHasher {
         let mut sig = vec![u64::MAX; self.k()];
         for &x in set {
             for (i, slot) in sig.iter_mut().enumerate() {
-                let h = (self.coeff_a[i]
-                    .wrapping_mul(x as u64 + 1)
-                    .wrapping_add(self.coeff_b[i]))
+                let h = (self.coeff_a[i].wrapping_mul(x as u64 + 1).wrapping_add(self.coeff_b[i]))
                     % MERSENNE_PRIME;
                 if h < *slot {
                     *slot = h;
@@ -99,10 +97,7 @@ mod tests {
         let a: Vec<u32> = vec![1, 2, 3];
         let b: Vec<u32> = vec![3, 4, 5];
         let u: Vec<u32> = vec![1, 2, 3, 4, 5];
-        assert_eq!(
-            MinHasher::union_signature(&h.signature(&a), &h.signature(&b)),
-            h.signature(&u)
-        );
+        assert_eq!(MinHasher::union_signature(&h.signature(&a), &h.signature(&b)), h.signature(&u));
     }
 
     #[test]

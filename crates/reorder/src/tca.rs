@@ -145,11 +145,7 @@ impl TcaReorderer {
         let candidates = lsh_candidate_pairs(&hasher, &signatures, &self.lsh);
         let scored: Vec<ScoredPair> = dtc_par::par_map_collect(candidates.len(), |k| {
             let (i, j) = candidates[k];
-            ScoredPair {
-                score: jaccard_sorted(a.row_entries(i).0, a.row_entries(j).0),
-                i,
-                j,
-            }
+            ScoredPair { score: jaccard_sorted(a.row_entries(i).0, a.row_entries(j).0), i, j }
         })
         .into_iter()
         .filter(|p| p.score >= self.min_similarity)
@@ -198,11 +194,7 @@ impl TcaReorderer {
         let candidates = lsh_candidate_pairs(&hasher, &cluster_sigs, &h2_lsh);
         let scored: Vec<ScoredPair> = dtc_par::par_map_collect(candidates.len(), |k| {
             let (i, j) = candidates[k];
-            ScoredPair {
-                score: jaccard_sorted(&cluster_cols[i], &cluster_cols[j]),
-                i,
-                j,
-            }
+            ScoredPair { score: jaccard_sorted(&cluster_cols[i], &cluster_cols[j]), i, j }
         })
         .into_iter()
         .filter(|p| p.score > 0.02)
@@ -262,10 +254,8 @@ impl Reorderer for TcaReorderer {
     fn reorder(&self, a: &CsrMatrix) -> Vec<usize> {
         let clusters = self.hierarchy_one(a);
         let ccs = self.hierarchy_two(a, &clusters);
-        let ordered: Vec<Vec<usize>> = ccs
-            .iter()
-            .flat_map(|cc| cc.iter().map(|&ci| clusters[ci].clone()))
-            .collect();
+        let ordered: Vec<Vec<usize>> =
+            ccs.iter().flat_map(|cc| cc.iter().map(|&ci| clusters[ci].clone())).collect();
         let perm = pack_into_windows(&ordered, 16, a.rows());
         if self.keep_if_no_gain && !improves(a, &perm) {
             return (0..a.rows()).collect();
@@ -354,10 +344,8 @@ mod tests {
 
     #[test]
     fn agglomerate_merges_best_first() {
-        let pairs = vec![
-            ScoredPair { score: 0.9, i: 0, j: 1 },
-            ScoredPair { score: 0.1, i: 2, j: 3 },
-        ];
+        let pairs =
+            vec![ScoredPair { score: 0.9, i: 0, j: 1 }, ScoredPair { score: 0.1, i: 2, j: 3 }];
         let clusters = agglomerate(4, |_| 1, pairs, 16);
         assert_eq!(clusters.len(), 2);
         assert!(clusters.contains(&vec![0, 1]));

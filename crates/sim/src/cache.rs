@@ -171,10 +171,8 @@ mod tests {
         let device = Device::rtx4090();
         let mut trace = KernelTrace::new(1, 8);
         trace.push(TbWork { b_sector_addrs: (0..1000).collect(), ..TbWork::default() });
-        trace.push(TbWork {
-            b_sector_addrs: (1_000_000..1_001_000).collect(),
-            ..TbWork::default()
-        });
+        trace
+            .push(TbWork { b_sector_addrs: (1_000_000..1_001_000).collect(), ..TbWork::default() });
         let hit = simulate_l2_over_trace(&device, &trace);
         assert!(hit < 0.05, "hit={hit}");
     }

@@ -1,4 +1,3 @@
-
 /// A GPU device model: SM count, per-SM pipe throughputs, latencies, the
 /// memory hierarchy, and clocks.
 ///
@@ -115,6 +114,67 @@ impl Device {
         }
     }
 
+    /// A structural 64-bit FNV-1a fingerprint over every field.
+    ///
+    /// Used as a cache key by trace memoization: two devices collide only
+    /// if all fields agree, and — unlike hashing the `Debug` form — the
+    /// result is stable under field reordering, costs no formatting
+    /// allocation, and (via the exhaustive destructuring below) fails to
+    /// compile if a field is added without being hashed.
+    pub fn fingerprint(&self) -> u64 {
+        let Device {
+            name,
+            num_sms,
+            sm_clock_ghz,
+            l2_bytes,
+            l2_ways,
+            sector_bytes,
+            dram_bw_gbps,
+            global_mem_bytes,
+            tc_hmma_per_cycle,
+            alu_ops_per_cycle,
+            fp32_ops_per_cycle,
+            lsu_sectors_per_cycle,
+            smem_ops_per_cycle,
+            shfl_ops_per_cycle,
+            mem_latency_cycles,
+            hmma_latency_cycles,
+            shfl_latency_cycles,
+            tb_launch_overhead_cycles,
+            atomic_cost_cycles,
+        } = self;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for b in name.bytes() {
+            eat(b as u64);
+        }
+        // Terminator so "AB" + field 1 never aliases "A" + a field starting
+        // with byte 'B'.
+        eat(0xff);
+        eat(*num_sms as u64);
+        eat(sm_clock_ghz.to_bits());
+        eat(*l2_bytes);
+        eat(*l2_ways as u64);
+        eat(*sector_bytes as u64);
+        eat(dram_bw_gbps.to_bits());
+        eat(*global_mem_bytes);
+        eat(tc_hmma_per_cycle.to_bits());
+        eat(alu_ops_per_cycle.to_bits());
+        eat(fp32_ops_per_cycle.to_bits());
+        eat(lsu_sectors_per_cycle.to_bits());
+        eat(smem_ops_per_cycle.to_bits());
+        eat(shfl_ops_per_cycle.to_bits());
+        eat(mem_latency_cycles.to_bits());
+        eat(hmma_latency_cycles.to_bits());
+        eat(shfl_latency_cycles.to_bits());
+        eat(tb_launch_overhead_cycles.to_bits());
+        eat(atomic_cost_cycles.to_bits());
+        h
+    }
+
     /// DRAM bandwidth expressed in bytes per SM-clock cycle (whole device).
     pub fn dram_bytes_per_cycle(&self) -> f64 {
         self.dram_bw_gbps * 1e9 / (self.sm_clock_ghz * 1e9)
@@ -167,6 +227,26 @@ mod tests {
     #[test]
     fn dram_bytes_per_cycle_positive() {
         assert!(Device::rtx4090().dram_bytes_per_cycle() > 100.0);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_any_field_change() {
+        let base = Device::rtx4090();
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        assert_ne!(base.fingerprint(), Device::rtx3090().fingerprint());
+        // Every mutation of a preset clone must move the fingerprint.
+        let mut d = base.clone();
+        d.num_sms += 1;
+        assert_ne!(d.fingerprint(), base.fingerprint());
+        let mut d = base.clone();
+        d.l2_bytes *= 2;
+        assert_ne!(d.fingerprint(), base.fingerprint());
+        let mut d = base.clone();
+        d.mem_latency_cycles += 1.0;
+        assert_ne!(d.fingerprint(), base.fingerprint());
+        let mut d = base.clone();
+        d.name.push('X');
+        assert_ne!(d.fingerprint(), base.fingerprint());
     }
 
     #[test]

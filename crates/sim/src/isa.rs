@@ -49,7 +49,7 @@ impl Instruction {
                 device.mem_latency_cycles
             }
             Instruction::Atom => device.mem_latency_cycles * 0.5, // resolves at L2
-            Instruction::Stg32 => 8.0, // fire-and-forget store
+            Instruction::Stg32 => 8.0,                            // fire-and-forget store
         }
     }
 
@@ -89,7 +89,11 @@ impl InstructionCounts {
     /// (they are what double buffering prefetches); `LDG.*` count as dense
     /// traffic.
     pub fn to_tb_work(&self) -> TbWork {
-        let mut tb = TbWork { iters: self.iters, overlap_a_fetch: self.double_buffered, ..TbWork::default() };
+        let mut tb = TbWork {
+            iters: self.iters,
+            overlap_a_fetch: self.double_buffered,
+            ..TbWork::default()
+        };
         for &(instr, count) in &self.counts {
             match instr {
                 Instruction::Hmma => {
@@ -141,7 +145,8 @@ mod tests {
 
     #[test]
     fn counts_lower_to_consistent_tb_work() {
-        let mut counts = InstructionCounts { iters: 10.0, double_buffered: true, ..Default::default() };
+        let mut counts =
+            InstructionCounts { iters: 10.0, double_buffered: true, ..Default::default() };
         counts
             .add(Instruction::Hmma, 100.0)
             .add(Instruction::Imad, 50.0)

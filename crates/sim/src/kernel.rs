@@ -1,4 +1,3 @@
-
 /// The per-thread-block work descriptor a kernel implementation lowers to.
 ///
 /// All `*_ops` fields are warp-level instruction counts for the whole

@@ -34,20 +34,22 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod counters;
 mod device;
 mod exec;
 pub mod isa;
-pub mod occupancy;
-pub mod roofline;
 mod kernel;
+pub mod occupancy;
 mod pipeline;
 mod report;
+pub mod roofline;
 mod scheduler;
 
+pub use counters::{CounterSet, InstructionMix};
 pub use device::Device;
-pub use kernel::{KernelTrace, TbWork};
 pub use exec::tb_duration_event_driven;
-pub use pipeline::{tb_duration_cycles, tb_duration_cycles_with_occ};
+pub use kernel::{KernelTrace, TbWork};
+pub use pipeline::{tb_duration_cycles, tb_duration_cycles_with_occ, tb_stall_cycles};
 pub use report::SimReport;
 pub use scheduler::{schedule, sm_for_block, ScheduleOutcome};
 
@@ -80,19 +82,14 @@ pub struct SimOptions {
 /// the kernel to a [`KernelTrace`], then call `simulate`.
 pub fn simulate(device: &Device, trace: &KernelTrace, options: &SimOptions) -> SimReport {
     // Optional L2 simulation over the recorded access streams.
-    let l2_hit_rate = if options.simulate_l2 {
-        Some(cache::simulate_l2_over_trace(device, trace))
-    } else {
-        None
-    };
+    let l2_hit_rate =
+        if options.simulate_l2 { Some(cache::simulate_l2_over_trace(device, trace)) } else { None };
     let effective_hit = l2_hit_rate.unwrap_or(trace.assumed_l2_hit_rate);
 
     // Effective occupancy: a launch with fewer blocks than SM slots leaves
     // each resident block a larger share of its SM.
-    let eff_occ = trace
-        .occupancy
-        .max(1)
-        .min(trace.tbs.len().div_ceil(device.num_sms.max(1)).max(1));
+    let eff_occ =
+        trace.occupancy.max(1).min(trace.tbs.len().div_ceil(device.num_sms.max(1)).max(1));
 
     // Per-TB durations, fanned out over host threads. Each TB's duration is
     // a pure function of its own work, and `par_map_collect` returns them in
@@ -126,25 +123,67 @@ pub fn simulate(device: &Device, trace: &KernelTrace, options: &SimOptions) -> S
     let total_sm_cycles = device.num_sms as f64 * outcome.makespan_cycles.max(1e-9);
     let tc_utilization = (tc_busy / total_sm_cycles).min(1.0);
 
-    let imad_count: f64 = trace.tbs.iter().map(|tb| tb.imad_count).sum();
-    let hmma_count: f64 = trace.tbs.iter().map(|tb| tb.hmma_count).sum();
+    // Per-class instruction/transaction accounting — kept as first-class
+    // counters (Table 2's mixes, Fig 13's sectors) instead of discarded.
+    let mut instructions = InstructionMix::default();
+    let mut b_sectors = 0.0f64;
+    let mut other_sectors = 0.0f64;
+    let mut stall_cycles = 0.0f64;
+    for tb in &trace.tbs {
+        instructions.hmma += tb.hmma_count;
+        instructions.imad += tb.imad_count;
+        instructions.ffma += tb.fp_ops;
+        instructions.sts += tb.smem_ops;
+        instructions.shfl += tb.shfl_ops;
+        instructions.atom += tb.atom_ops;
+        if tb.overlap_a_fetch {
+            instructions.cp_async_sectors += tb.lsu_a_sectors;
+        } else {
+            instructions.ldg_sectors += tb.lsu_a_sectors;
+        }
+        instructions.ldg_sectors += tb.lsu_b_sectors;
+        instructions.stg_sectors += tb.epilogue_sectors;
+        b_sectors += tb.lsu_b_sectors;
+        other_sectors += tb.lsu_a_sectors + tb.epilogue_sectors;
+        stall_cycles +=
+            pipeline::tb_stall_cycles(device, eff_occ, trace.warps_per_tb, tb, effective_hit);
+    }
+    let imad_count = instructions.imad;
+    let hmma_count = instructions.hmma;
 
     // DRAM traffic: all sparse-A and C traffic is streaming (miss), B
     // traffic is filtered by the L2 hit rate.
-    let b_sectors: f64 = trace.tbs.iter().map(|tb| tb.lsu_b_sectors).sum();
-    let other_sectors: f64 = trace
-        .tbs
-        .iter()
-        .map(|tb| tb.lsu_a_sectors + tb.epilogue_sectors)
-        .sum();
-    let dram_bytes =
-        (b_sectors * (1.0 - effective_hit) + other_sectors) * device.sector_bytes as f64;
+    let l2_sector_hits = b_sectors * effective_hit;
+    let l2_sector_misses = b_sectors * (1.0 - effective_hit) + other_sectors;
+    let dram_bytes = l2_sector_misses * device.sector_bytes as f64;
 
     // Global DRAM-bandwidth lower bound on the kernel time.
     let dram_cycles = dram_bytes / device.dram_bytes_per_cycle();
     let cycles = outcome.makespan_cycles.max(dram_cycles);
     // When DRAM is the binding constraint, utilization shrinks accordingly.
     let tc_utilization = tc_utilization * (outcome.makespan_cycles / cycles.max(1e-9)).min(1.0);
+
+    // Per-SM block counts and achieved occupancy over the kernel duration.
+    let mut sm_blocks = vec![0usize; device.num_sms];
+    for &sm in &outcome.block_sm {
+        sm_blocks[sm] += 1;
+    }
+    let sm_occupancy: Vec<f64> =
+        outcome.sm_busy_cycles.iter().map(|&b| b / cycles.max(1e-9)).collect();
+
+    let counters = CounterSet {
+        sm_cycles: outcome.sm_busy_cycles.clone(),
+        sm_blocks,
+        sm_occupancy,
+        effective_occupancy: eff_occ,
+        instructions,
+        l2_sector_hits,
+        l2_sector_misses,
+        dram_bytes,
+        stall_cycles,
+    };
+
+    sim_telemetry(&counters);
 
     SimReport {
         cycles,
@@ -158,7 +197,19 @@ pub fn simulate(device: &Device, trace: &KernelTrace, options: &SimOptions) -> S
         dram_bytes,
         l2_hit_rate,
         num_tbs: trace.tbs.len(),
+        counters,
     }
+}
+
+/// Bumps the process-wide registry with launch-level aggregates (cheap:
+/// two relaxed atomic adds through cached handles).
+fn sim_telemetry(counters: &CounterSet) {
+    use std::sync::OnceLock;
+    static CALLS: OnceLock<&'static dtc_telemetry::Counter> = OnceLock::new();
+    static TBS: OnceLock<&'static dtc_telemetry::Counter> = OnceLock::new();
+    CALLS.get_or_init(|| dtc_telemetry::counter("sim.simulate.calls")).incr();
+    TBS.get_or_init(|| dtc_telemetry::counter("sim.simulate.tbs"))
+        .add(counters.total_blocks() as u64);
 }
 
 #[cfg(test)]

@@ -8,7 +8,6 @@
 //! block limits — so kernel configurations can derive their occupancy
 //! instead of hard-coding it.
 
-
 /// Per-SM resource limits (Ampere/Ada values).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SmResources {

@@ -47,27 +47,38 @@ pub fn tb_duration_cycles_with_occ(
     let epi_t = tb.epilogue_sectors / (device.lsu_sectors_per_cycle / occ)
         + tb.atom_ops * device.atomic_cost_cycles;
 
-    // Dependency stalls: every loop iteration waits on the B load (never
-    // prefetched — no async global-to-register copy exists, §4.4.2) and,
-    // without double buffering, also on the A load. Warp-level parallelism
-    // within the SM hides most of the latency.
+    // Overlap structure: double buffering hides the A fetch under TC compute.
+    let a_and_tc = if tb.overlap_a_fetch { tc_t.max(lsu_a_t) } else { tc_t + lsu_a_t };
+
+    device.tb_launch_overhead_cycles / occ
+        + (alu_t + fp_t + smem_t + shfl_t + lsu_b_t + a_and_tc + epi_t) / issue_cap
+        + tb_stall_cycles(device, occupancy, warps_per_tb, tb, l2_hit_rate)
+}
+
+/// The dependency-stall term of [`tb_duration_cycles_with_occ`]: cycles one
+/// thread block spends waiting on memory latency. Every loop iteration
+/// waits on the B load (never prefetched — no async global-to-register copy
+/// exists, §4.4.2) and, without double buffering, also on the A load;
+/// warp-level parallelism within the SM hides most of the latency. Exposed
+/// separately so the simulator can export it as a pipeline-stall counter.
+pub fn tb_stall_cycles(
+    device: &Device,
+    occupancy: usize,
+    warps_per_tb: usize,
+    tb: &TbWork,
+    l2_hit_rate: f64,
+) -> f64 {
+    let occ = occupancy.max(1) as f64;
     let hide = (occ * warps_per_tb.max(1) as f64 / 2.0).max(1.0);
-    let eff_latency =
-        device.mem_latency_cycles * (1.0 - l2_hit_rate) + device.mem_latency_cycles / 8.0 * l2_hit_rate;
+    let eff_latency = device.mem_latency_cycles * (1.0 - l2_hit_rate)
+        + device.mem_latency_cycles / 8.0 * l2_hit_rate;
     let stall_b = if tb.lsu_b_sectors > 0.0 { tb.iters * eff_latency / hide } else { 0.0 };
     let stall_a = if tb.overlap_a_fetch || tb.lsu_a_sectors == 0.0 {
         0.0
     } else {
         tb.iters * eff_latency / hide
     };
-
-    // Overlap structure: double buffering hides the A fetch under TC compute.
-    let a_and_tc = if tb.overlap_a_fetch { tc_t.max(lsu_a_t) } else { tc_t + lsu_a_t };
-
-    device.tb_launch_overhead_cycles / occ
-        + (alu_t + fp_t + smem_t + shfl_t + lsu_b_t + a_and_tc + epi_t) / issue_cap
-        + stall_a
-        + stall_b
+    stall_a + stall_b
 }
 
 #[cfg(test)]

@@ -1,3 +1,4 @@
+use crate::counters::CounterSet;
 
 /// The result of simulating one kernel launch — the counters NVIDIA Nsight
 /// Compute would report on real hardware.
@@ -26,6 +27,11 @@ pub struct SimReport {
     pub l2_hit_rate: Option<f64>,
     /// Number of thread blocks launched.
     pub num_tbs: usize,
+    /// The full micro-architectural counter export: per-SM cycles and
+    /// occupancy, per-class instruction counts, L2 sectors, DRAM bytes and
+    /// stall cycles. Consistent with the aggregate fields above (e.g.
+    /// `counters.instructions.hmma == hmma_count`).
+    pub counters: CounterSet,
 }
 
 impl SimReport {
@@ -74,6 +80,7 @@ mod tests {
             dram_bytes: 0.0,
             l2_hit_rate: None,
             num_tbs: 1,
+            counters: CounterSet::default(),
         }
     }
 

@@ -36,10 +36,9 @@ pub fn ridge_intensity(device: &Device) -> f64 {
 /// `flops` useful floating-point operations.
 pub fn kernel_roofline(device: &Device, trace: &KernelTrace, flops: u64) -> RooflinePoint {
     let b_sectors: f64 = trace.tbs.iter().map(|tb| tb.lsu_b_sectors).sum();
-    let other: f64 =
-        trace.tbs.iter().map(|tb| tb.lsu_a_sectors + tb.epilogue_sectors).sum();
-    let bytes = (b_sectors * (1.0 - trace.assumed_l2_hit_rate) + other)
-        * device.sector_bytes as f64;
+    let other: f64 = trace.tbs.iter().map(|tb| tb.lsu_a_sectors + tb.epilogue_sectors).sum();
+    let bytes =
+        (b_sectors * (1.0 - trace.assumed_l2_hit_rate) + other) * device.sector_bytes as f64;
     let intensity = if bytes > 0.0 { flops as f64 / bytes } else { f64::INFINITY };
     let bound = roofline_gflops(device, intensity);
     RooflinePoint {

@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn policy_covers_all_sms_in_one_wave() {
-        let mut seen = vec![false; 128];
+        let mut seen = [false; 128];
         for blk in 0..128 {
             seen[sm_for_block(blk, 128)] = true;
         }

@@ -18,14 +18,8 @@ fn main() {
     println!("graph: {} ({} nodes, {} edges)", dataset.name, graph.rows(), graph.nnz());
 
     let device = Device::rtx4090();
-    let config = TrainConfig {
-        epochs: 200,
-        hidden: 128,
-        features: 64,
-        classes: 8,
-        lr: 0.05,
-        seed: 3,
-    };
+    let config =
+        TrainConfig { epochs: 200, hidden: 128, features: 64, classes: 8, lr: 0.05, seed: 3 };
 
     let backends: Vec<Box<dyn GnnBackend>> = vec![
         Box::new(DtcGnnBackend::new(&graph)),

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example mtx_workflow`
 
-use dtc_spmm::core::{EngineRecommendation, IterativeSpmm, SpmmKernel};
+use dtc_spmm::core::{EngineRecommendation, IterativeSpmm};
 use dtc_spmm::formats::{gen, mtx, DenseMatrix};
 use dtc_spmm::sim::Device;
 
@@ -26,11 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let c = session.execute(&b)?;
         assert_eq!(c.rows(), a.rows());
     }
-    println!(
-        "ran {} iterations; selector chose {:?}",
-        session.runs(),
-        session.engine().choice()
-    );
+    println!("ran {} iterations; selector chose {:?}", session.runs(), session.engine().choice());
 
     // 4. The §6 amortization analysis.
     let report = session.amortization(128);

@@ -20,7 +20,10 @@ fn main() {
     let device = Device::rtx4090();
     let n = 128;
 
-    println!("{:<14} {:>10} {:>10} {:>12} {:>10}", "method", "MeanNnzTC", "TC blocks", "DTC ms", "speedup");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>10}",
+        "method", "MeanNnzTC", "TC blocks", "DTC ms", "speedup"
+    );
     let base_ms = DtcKernel::new(&a).simulate(n, &device).time_ms;
     let reorderers: Vec<Box<dyn Reorderer>> = vec![
         Box::new(IdentityReorderer),

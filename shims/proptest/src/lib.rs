@@ -105,9 +105,7 @@ pub mod test_runner {
                         }
                     }
                     Err(TestCaseError::Fail(msg)) => {
-                        panic!(
-                            "proptest {name}: case {passed} failed (seed {seed:#x}): {msg}"
-                        );
+                        panic!("proptest {name}: case {passed} failed (seed {seed:#x}): {msg}");
                     }
                 }
             }
@@ -329,8 +327,10 @@ macro_rules! __proptest_impl {
         fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
         $($rest:tt)*
     ) => {
+        // Callers write `#[test]` themselves (as with the real proptest
+        // crate); it arrives through `$meta`, so emitting another here
+        // would duplicate the attribute.
         $(#[$meta])*
-        #[test]
         fn $name() {
             let strategy = ($($strat,)+);
             let mut runner = $crate::test_runner::TestRunner::new($config);
@@ -401,9 +401,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr $(,)?) => {
         if !$cond {
-            return ::core::result::Result::Err(
-                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
-            );
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
         }
     };
 }
@@ -450,18 +450,18 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         use crate::test_runner::{ProptestConfig, TestRunner};
-        use crate::Strategy;
         let collect = || {
-            let mut got = Vec::new();
+            // `run` takes `Fn`, so collect through interior mutability.
+            let got = std::cell::RefCell::new(Vec::new());
             TestRunner::new(ProptestConfig::with_cases(32)).run(
                 "determinism_probe",
                 &(0usize..1000),
                 |x| {
-                    got.push(x);
+                    got.borrow_mut().push(x);
                     Ok(())
                 },
             );
-            got
+            got.into_inner()
         };
         assert_eq!(collect(), collect());
     }

@@ -37,6 +37,9 @@ fn main() -> ExitCode {
         Some("gen") if args.len() >= 5 => cmd_gen(&args[1..]),
         _ => return usage(),
     };
+    if let Some(path) = dtc_spmm::telemetry::flush_env_sink() {
+        eprintln!("metrics snapshot written to {}", path.display());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -56,7 +59,11 @@ fn cmd_info(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     println!("matrix     : {path}");
     println!("shape      : {} x {}", s.rows, s.cols);
     println!("nnz        : {}", s.nnz);
-    println!("AvgRowL    : {:.2} ({})", s.avg_row_len, if s.is_type_ii() { "Type II" } else { "Type I" });
+    println!(
+        "AvgRowL    : {:.2} ({})",
+        s.avg_row_len,
+        if s.is_type_ii() { "Type II" } else { "Type I" }
+    );
     println!("max row    : {}", s.max_row_len);
     println!("row-len CV : {:.2}", s.row_len_cv);
     println!("sparsity   : {:.4}%", s.sparsity * 100.0);
@@ -120,8 +127,13 @@ fn cmd_bench(path: &str, rest: &[String]) -> Result<(), Box<dyn std::error::Erro
     let session = IterativeSpmm::new(&a, device);
     let report = session.amortization(n);
     match report.break_even_iterations {
-        Some(it) => println!("\nDTC setup amortizes after {it} iterations (setup {:.3} ms).", report.setup_ms),
-        None => println!("\nDTC is not faster per iteration here; prefer a conversion-free engine."),
+        Some(it) => println!(
+            "\nDTC setup amortizes after {it} iterations (setup {:.3} ms).",
+            report.setup_ms
+        ),
+        None => {
+            println!("\nDTC is not faster per iteration here; prefer a conversion-free engine.")
+        }
     }
     Ok(())
 }

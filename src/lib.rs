@@ -14,7 +14,9 @@
 //! - [`baselines`] — the eight competitor SpMM implementations;
 //! - [`core`] — DTC-SpMM itself: runtime kernels, Selector, pipeline;
 //! - [`gnn`] — the end-to-end GCN case study;
-//! - [`datasets`] — synthetic stand-ins for the paper's benchmarks.
+//! - [`datasets`] — synthetic stand-ins for the paper's benchmarks;
+//! - [`telemetry`] — the process-wide metrics registry behind the
+//!   `DTC_METRICS` JSON snapshot.
 //!
 //! # Quickstart
 //!
@@ -66,9 +68,10 @@ pub mod prelude {
 
 pub use dtc_baselines as baselines;
 pub use dtc_core as core;
-pub use dtc_par as par;
 pub use dtc_datasets as datasets;
 pub use dtc_formats as formats;
 pub use dtc_gnn as gnn;
+pub use dtc_par as par;
 pub use dtc_reorder as reorder;
 pub use dtc_sim as sim;
+pub use dtc_telemetry as telemetry;

@@ -37,10 +37,8 @@ fn gen_info_bench_pipeline() {
     assert!(text.contains("ME-TCF"));
     assert!(text.contains("1024 x 1024"));
     // bench
-    let out = dtc()
-        .args(["bench", mtx.to_str().expect("utf8"), "--n", "64"])
-        .output()
-        .expect("runs");
+    let out =
+        dtc().args(["bench", mtx.to_str().expect("utf8"), "--n", "64"]).output().expect("runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("DTC-SpMM"));

@@ -3,7 +3,7 @@
 //! a downstream user can throw at the library must either work or fail
 //! with a typed error, never panic.
 
-use dtc_spmm::baselines::{CusparseSpmm, HpSpmm, SputnikSpmm, SpmmKernel, TcgnnSpmm};
+use dtc_spmm::baselines::{CusparseSpmm, HpSpmm, SpmmKernel, SputnikSpmm, TcgnnSpmm};
 use dtc_spmm::core::{DtcKernel, DtcSpmm, Selector};
 use dtc_spmm::formats::{CsrMatrix, DenseMatrix, MeTcfMatrix};
 use dtc_spmm::sim::{cache::L2Cache, sm_for_block, Device};

@@ -63,7 +63,8 @@ fn dtc_gcn_beats_frameworks_on_igb() {
     // Fig 16 shape: DTC-GCN's simulated 200-epoch time beats DGL and both
     // PyG modes on the IGB stand-ins.
     let device = Device::rtx4090();
-    let cfg = TrainConfig { epochs: 200, hidden: 128, features: 64, classes: 8, lr: 0.05, seed: 13 };
+    let cfg =
+        TrainConfig { epochs: 200, hidden: 128, features: 64, classes: 8, lr: 0.05, seed: 13 };
     let cheap = TrainConfig { epochs: 2, ..cfg };
     for d in igb_datasets() {
         let g = d.matrix();

@@ -2,7 +2,7 @@
 //! the scaled representative datasets — who wins, where, and by roughly
 //! what kind of factor. These are the claims EXPERIMENTS.md reports.
 
-use dtc_spmm::baselines::{CusparseSpmm, SputnikSpmm, SpmmKernel, TcgnnSpmm};
+use dtc_spmm::baselines::{CusparseSpmm, SpmmKernel, SputnikSpmm, TcgnnSpmm};
 use dtc_spmm::core::{BalancedDtcKernel, DtcKernel, DtcSpmm, KernelChoice, KernelOpts, Selector};
 use dtc_spmm::datasets::{representative, scaled_device, DatasetKind};
 use dtc_spmm::formats::MeTcfMatrix;
@@ -49,12 +49,7 @@ fn type_ii_speedups_exceed_type_i() {
         }
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    assert!(
-        avg(&type_ii) > avg(&type_i) * 1.5,
-        "type_ii={:?} type_i={:?}",
-        type_ii,
-        type_i
-    );
+    assert!(avg(&type_ii) > avg(&type_i) * 1.5, "type_ii={:?} type_i={:?}", type_ii, type_i);
     // And at least one Type II speedup lands in the paper's 2-5x band.
     assert!(type_ii.iter().any(|&s| s > 2.0 && s < 8.0), "{type_ii:?}");
 }

@@ -23,9 +23,7 @@ const THREADS: [usize; 4] = [1, 2, 7, 16];
 /// two overrides.
 fn override_lock() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    LOCK.get_or_init(|| Mutex::new(()))
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Runs `f` under a fixed thread count, restoring the default after.
@@ -55,6 +53,7 @@ proptest! {
     /// Tentpole acceptance: parallel `execute` is bit-identical to serial
     /// for random matrices, every thread count, and all three precisions,
     /// on both runtime kernels.
+    #[test]
     fn parallel_execute_bit_identical_to_serial(
         rows in 1usize..300,
         cols in 1usize..200,
@@ -97,6 +96,7 @@ proptest! {
     /// The parallel CSR reference path (shared by the cuSPARSE and Sputnik
     /// baselines) and the parallel ME-TCF conversion are likewise
     /// thread-count-invariant.
+    #[test]
     fn reference_and_conversion_thread_invariant(
         rows in 1usize..400,
         cols in 1usize..200,
@@ -196,7 +196,12 @@ fn repeated_simulate_is_consistent() {
     let mut slow = device.clone();
     slow.mem_latency_cycles *= 4.0;
     let r3 = engine.simulate(64, &slow);
-    assert!(r3.time_ms > r1.time_ms, "slower memory must cost more: {} vs {}", r3.time_ms, r1.time_ms);
+    assert!(
+        r3.time_ms > r1.time_ms,
+        "slower memory must cost more: {} vs {}",
+        r3.time_ms,
+        r1.time_ms
+    );
 }
 
 /// `CsrMatrix` round-trip sanity for the helper used above.

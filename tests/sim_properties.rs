@@ -9,10 +9,14 @@ fn arb_durations() -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn arb_trace() -> impl Strategy<Value = KernelTrace> {
-    (1usize..8, 1usize..16, proptest::collection::vec(
-        (0.0f64..5000.0, 0.0f64..5000.0, 0.0f64..5000.0, 0.0f64..5000.0, any::<bool>()),
-        0..200,
-    ))
+    (
+        1usize..8,
+        1usize..16,
+        proptest::collection::vec(
+            (0.0f64..5000.0, 0.0f64..5000.0, 0.0f64..5000.0, 0.0f64..5000.0, any::<bool>()),
+            0..200,
+        ),
+    )
         .prop_map(|(occ, warps, tbs)| {
             let mut trace = KernelTrace::new(occ, warps);
             for (alu, lsu_a, lsu_b, hmma, overlap) in tbs {

@@ -5,11 +5,10 @@
 use dtc_spmm::baselines::{CusparseSpmm, SpmmKernel, TcgnnSpmm};
 use dtc_spmm::core::{DtcKernel, KernelOpts};
 use dtc_spmm::datasets::{representative, scaled_device};
-use dtc_spmm::sim::{simulate, Device, SimOptions, TimingMode};
+use dtc_spmm::sim::{Device, SimOptions, TimingMode};
 
 fn time_ms(k: &dyn SpmmKernel, n: usize, device: &Device, mode: TimingMode) -> f64 {
-    let trace = k.trace(n, device, false);
-    simulate(device, &trace, &SimOptions { simulate_l2: false, timing: mode }).time_ms
+    k.simulate_with(n, device, &SimOptions { simulate_l2: false, timing: mode }).time_ms
 }
 
 #[test]
