@@ -13,7 +13,7 @@ use crate::util::{
 use crate::SpmmKernel;
 use dtc_formats::tf32::round_to_tf32;
 use dtc_formats::{BellMatrix, CsrMatrix, DenseMatrix, FormatError};
-use dtc_sim::{Device, KernelTrace, TbWork};
+use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// Block-SpMM kernel model over BELL.
 #[derive(Debug, Clone)]
@@ -107,7 +107,7 @@ impl SpmmKernel for BlockSpmm {
         let slots_per_row = self.bell.blocks_per_row() as f64;
         for br in 0..self.bell.num_block_rows() {
             let mut stored = 0.0;
-            let mut addrs = Vec::new();
+            let mut addrs = SectorStream::new();
             for slot in 0..self.bell.blocks_per_row() {
                 if let Some(bc) = self.bell.slot_block_col(br, slot) {
                     stored += 1.0;
@@ -137,7 +137,7 @@ impl SpmmKernel for BlockSpmm {
                 epilogue_sectors: bs * b_row_sectors,
                 iters: slots_per_row,
                 overlap_a_fetch: true, // cuSPARSE GEMM-grade pipelining
-                b_sector_addrs: addrs,
+                b_stream: addrs,
                 ..TbWork::default()
             });
         }

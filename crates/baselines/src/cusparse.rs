@@ -6,7 +6,7 @@ use crate::util::{
 };
 use crate::SpmmKernel;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
-use dtc_sim::{Device, KernelTrace, TbWork};
+use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// Rows handled by one thread block (row-split).
 const ROWS_PER_TB: usize = 16;
@@ -72,7 +72,7 @@ impl SpmmKernel for CusparseSpmm {
                 let end = (start + ROWS_PER_TB).min(self.a.rows());
                 let mut nnz_tb = 0usize;
                 let mut max_row = 0usize;
-                let mut addrs = Vec::new();
+                let mut addrs = SectorStream::new();
                 for r in start..end {
                     let len = self.a.row_len(r);
                     nnz_tb += len;
@@ -107,7 +107,7 @@ impl SpmmKernel for CusparseSpmm {
                     epilogue_sectors: (end - start) as f64 * tile_sectors,
                     // The longest row serializes its warp's loop.
                     iters: max_row as f64,
-                    b_sector_addrs: addrs,
+                    b_stream: addrs,
                     ..TbWork::default()
                 });
             }
@@ -152,8 +152,8 @@ mod tests {
         let device = Device::rtx4090();
         let small = CusparseSpmm::new(&uniform(64, 64, 256, 4)).trace(128, &device, false);
         let large = CusparseSpmm::new(&uniform(64, 64, 1024, 4)).trace(128, &device, false);
-        let s: f64 = small.tbs.iter().map(|t| t.lsu_b_sectors).sum();
-        let l: f64 = large.tbs.iter().map(|t| t.lsu_b_sectors).sum();
+        let s: f64 = small.iter_tbs().map(|t| t.lsu_b_sectors).sum();
+        let l: f64 = large.iter_tbs().map(|t| t.lsu_b_sectors).sum();
         assert!(l > s * 3.0);
     }
 
@@ -161,17 +161,17 @@ mod tests {
     fn long_rows_serialize() {
         let a = long_row(32, 512, 200.0, 0.3, 5);
         let t = CusparseSpmm::new(&a).trace(128, &Device::rtx4090(), false);
-        assert!(t.tbs.iter().any(|tb| tb.iters > 100.0));
+        assert!(t.iter_tbs().any(|tb| tb.iters > 100.0));
     }
 
     #[test]
     fn recorded_addresses_match_accounting() {
         let a = uniform(32, 32, 128, 6);
         let t = CusparseSpmm::new(&a).trace(128, &Device::rtx4090(), true);
-        for tb in &t.tbs {
+        for i in 0..t.num_tbs() {
             // Accounted traffic = recorded useful sectors x 1.25 alignment
             // overhead.
-            assert!((tb.b_sector_addrs.len() as f64 * 1.25 - tb.lsu_b_sectors).abs() < 1e-9);
+            assert!((t.stream(i).len() as f64 * 1.25 - t.tb(i).lsu_b_sectors).abs() < 1e-9);
         }
     }
 }

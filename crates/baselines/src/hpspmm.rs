@@ -15,7 +15,7 @@ use crate::util::{
 };
 use crate::SpmmKernel;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
-use dtc_sim::{Device, KernelTrace, TbWork};
+use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// Warp-batches of short rows / row-fragments per thread block.
 const UNITS_PER_TB: usize = 8;
@@ -106,7 +106,7 @@ impl SpmmKernel for HpSpmm {
             for chunk in units.chunks(UNITS_PER_TB) {
                 let l: f64 = chunk.iter().map(|&(_, len)| len as f64).sum();
                 let max_unit = chunk.iter().map(|&(_, len)| len).max().unwrap_or(0);
-                let mut addrs = Vec::new();
+                let mut addrs = SectorStream::new();
                 if record_b_addrs {
                     // Fragment boundaries do not matter for traffic; record
                     // per-row ranges.
@@ -138,7 +138,7 @@ impl SpmmKernel for HpSpmm {
                         / 32.0,
                     epilogue_sectors: chunk.len() as f64 * tile_sectors,
                     iters: max_unit as f64 / 4.0,
-                    b_sector_addrs: addrs,
+                    b_stream: addrs,
                     ..TbWork::default()
                 });
             }

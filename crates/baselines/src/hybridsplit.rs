@@ -15,7 +15,7 @@ use crate::util::{
 use crate::SpmmKernel;
 use dtc_formats::tf32::round_to_tf32;
 use dtc_formats::{Condensed, CsrMatrix, DenseMatrix, FormatError};
-use dtc_sim::{Device, KernelTrace, TbWork};
+use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// Hybrid dense/sparse split SpMM.
 #[derive(Debug, Clone)]
@@ -141,7 +141,7 @@ impl SpmmKernel for HybridSplitSpmm {
                 continue;
             }
             let nblk = w.num_blocks() as f64;
-            let mut addrs = Vec::new();
+            let mut addrs = SectorStream::new();
             if record_b_addrs {
                 for block in w.blocks() {
                     for &c in block.cols {
@@ -161,7 +161,7 @@ impl SpmmKernel for HybridSplitSpmm {
                 epilogue_sectors: 16.0 * b_row_sectors,
                 iters: nblk,
                 overlap_a_fetch: true,
-                b_sector_addrs: addrs,
+                b_stream: addrs,
                 ..TbWork::default()
             });
         }

@@ -11,7 +11,7 @@ use crate::util::{
 };
 use crate::SpmmKernel;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
-use dtc_sim::{Device, KernelTrace, TbWork};
+use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// Widest ELL bucket; longer rows fall into the CSR residual.
 const MAX_BUCKET_WIDTH: usize = 32;
@@ -111,7 +111,7 @@ impl SpmmKernel for SparseTirSpmm {
                 let width = Self::bucket_width(b) as f64;
                 for chunk in rows.chunks(ROWS_PER_TB) {
                     let mut real_nnz = 0usize;
-                    let mut addrs = Vec::new();
+                    let mut addrs = SectorStream::new();
                     for &r in chunk {
                         let (cols, _) = self.a.row_entries(r as usize);
                         real_nnz += cols.len();
@@ -138,7 +138,7 @@ impl SpmmKernel for SparseTirSpmm {
                         lsu_b_sectors: lsu_b,
                         epilogue_sectors: chunk.len() as f64 * tile_sectors,
                         iters: width,
-                        b_sector_addrs: addrs,
+                        b_stream: addrs,
                         ..TbWork::default()
                     });
                 }
@@ -147,7 +147,7 @@ impl SpmmKernel for SparseTirSpmm {
             for chunk in self.residual.chunks(4) {
                 let mut l = 0f64;
                 let mut max_row = 0usize;
-                let mut addrs = Vec::new();
+                let mut addrs = SectorStream::new();
                 for &r in chunk {
                     let (cols, _) = self.a.row_entries(r as usize);
                     l += cols.len() as f64;
@@ -173,7 +173,7 @@ impl SpmmKernel for SparseTirSpmm {
                     lsu_b_sectors: lsu_b,
                     epilogue_sectors: chunk.len() as f64 * tile_sectors,
                     iters: max_row as f64 / 4.0,
-                    b_sector_addrs: addrs,
+                    b_stream: addrs,
                     ..TbWork::default()
                 });
             }
@@ -221,7 +221,7 @@ mod tests {
             (0..32).flat_map(|r| (0..3).map(move |j| (r, j * 7, 1.0))).collect();
         let a = CsrMatrix::from_triplets(32, 32, &t).unwrap();
         let trace = SparseTirSpmm::new(&a).trace(32, &Device::rtx4090(), false);
-        let fp: f64 = trace.tbs.iter().map(|t| t.fp_ops).sum();
+        let fp: f64 = trace.iter_tbs().map(|t| t.fp_ops).sum();
         assert_eq!(fp, 32.0 * 4.0 * 32.0 / 32.0); // padded 4, not 3
     }
 

@@ -7,7 +7,7 @@ use crate::util::{
 };
 use crate::SpmmKernel;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
-use dtc_sim::{Device, KernelTrace, TbWork};
+use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// Non-zeros per 1-D tile (one tile = one thread block's work unit).
 const NNZ_PER_TILE: usize = 256;
@@ -93,10 +93,10 @@ impl SpmmKernel for SputnikSpmm {
             let tile_sectors = (w * 4.0 / 32.0).max(1.0);
             let mut tile_nnz = 0usize;
             let mut tile_rows = 0usize;
-            let mut addrs: Vec<u64> = Vec::new();
+            let mut addrs = SectorStream::new();
             let flush = |tile_nnz: &mut usize,
                          tile_rows: &mut usize,
-                         addrs: &mut Vec<u64>,
+                         addrs: &mut SectorStream,
                          trace: &mut KernelTrace,
                          total_b: &mut f64| {
                 if *tile_nnz == 0 {
@@ -115,7 +115,7 @@ impl SpmmKernel for SputnikSpmm {
                     // Balanced tiles: the loop length is the tile size
                     // itself, divided across the warps.
                     iters: l / 8.0,
-                    b_sector_addrs: std::mem::take(addrs),
+                    b_stream: std::mem::take(addrs),
                     ..TbWork::default()
                 });
                 *tile_nnz = 0;
@@ -182,7 +182,7 @@ mod tests {
     fn tiles_are_balanced_even_on_skewed_rows() {
         let a = long_row(64, 512, 150.0, 1.5, 3);
         let t = SputnikSpmm::new(&a).unwrap().trace(128, &Device::rtx4090(), false);
-        let loads: Vec<f64> = t.tbs.iter().map(|tb| tb.fp_ops).collect();
+        let loads: Vec<f64> = t.iter_tbs().map(|tb| tb.fp_ops).collect();
         let max = loads.iter().cloned().fold(0.0, f64::max);
         let min = loads.iter().cloned().fold(f64::MAX, f64::min);
         // All but the last tile carry exactly NNZ_PER_TILE non-zeros.
@@ -195,8 +195,8 @@ mod tests {
         let device = Device::rtx4090();
         let sp = SputnikSpmm::new(&a).unwrap().trace(128, &device, false);
         let cu = crate::CusparseSpmm::new(&a).trace(128, &device, false);
-        let sp_alu: f64 = sp.tbs.iter().map(|t| t.alu_ops).sum();
-        let cu_alu: f64 = cu.tbs.iter().map(|t| t.alu_ops).sum();
+        let sp_alu: f64 = sp.iter_tbs().map(|t| t.alu_ops).sum();
+        let cu_alu: f64 = cu.iter_tbs().map(|t| t.alu_ops).sum();
         assert!(sp_alu < cu_alu);
     }
 }

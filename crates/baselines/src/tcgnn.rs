@@ -19,7 +19,7 @@ use crate::util::{
 use crate::SpmmKernel;
 use dtc_formats::tf32::round_to_tf32;
 use dtc_formats::{Condensed, CsrMatrix, DenseMatrix, FormatError, TcfMatrix};
-use dtc_sim::{Device, KernelTrace, TbWork};
+use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// IMADs per scanned edge in the per-block window re-scan (per thread,
 /// before the 1/32 warp normalization).
@@ -118,7 +118,7 @@ impl SpmmKernel for TcgnnSpmm {
         for w in self.condensed.windows() {
             let nnz_w = w.nnz() as f64;
             let nblk = w.num_blocks() as f64;
-            let mut addrs = Vec::new();
+            let mut addrs = SectorStream::new();
             let mut lsu_b = 0.0;
             let mut hmma_ops = 0.0;
             let mut hmma_count = 0.0;
@@ -157,7 +157,7 @@ impl SpmmKernel for TcgnnSpmm {
                 epilogue_sectors: 16.0 * b_row_sectors,
                 iters: nblk,
                 overlap_a_fetch: false, // (3) no double buffering
-                b_sector_addrs: addrs,
+                b_stream: addrs,
                 ..TbWork::default()
             });
         }

@@ -2,7 +2,7 @@
 //! estimation, and dimension checks.
 
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
-use dtc_sim::Device;
+use dtc_sim::{Device, SectorStream};
 
 /// Number of distinct columns touched by the sparse matrix — the set of B
 /// rows an SpMM actually reads.
@@ -42,19 +42,16 @@ pub fn sectors_per_b_row(n: usize) -> f64 {
 }
 
 /// Appends the sector addresses of B row `col` (for an `N`-column B) to a
-/// recording buffer.
-pub fn push_b_row_sectors(out: &mut Vec<u64>, col: usize, n: usize) {
+/// recording stream. The row is contiguous, so it encodes as a single run.
+pub fn push_b_row_sectors(out: &mut SectorStream, col: usize, n: usize) {
     let per_row = sectors_per_b_row(n) as u64;
-    let base = col as u64 * per_row;
-    for k in 0..per_row {
-        out.push(base + k);
-    }
+    out.push_run(col as u64 * per_row, per_row);
 }
 
 /// Appends the sector addresses of one *N-tile* of B row `col`: sectors
-/// `[tile_first, tile_first + tile_sectors)` of the row.
+/// `[tile_first, tile_first + tile_sectors)` of the row — one encoded run.
 pub fn push_b_tile_sectors(
-    out: &mut Vec<u64>,
+    out: &mut SectorStream,
     col: usize,
     n: usize,
     tile_first: u64,
@@ -62,9 +59,7 @@ pub fn push_b_tile_sectors(
 ) {
     let per_row = sectors_per_b_row(n) as u64;
     let base = col as u64 * per_row + tile_first;
-    for k in 0..tile_sectors.min(per_row - tile_first.min(per_row)) {
-        out.push(base + k);
-    }
+    out.push_run(base, tile_sectors.min(per_row - tile_first.min(per_row)));
 }
 
 /// The column-tile width CUDA-core kernels use to split the N dimension
@@ -130,9 +125,10 @@ mod tests {
     fn sector_math() {
         assert_eq!(sectors_per_b_row(128), 16.0);
         assert_eq!(sectors_per_b_row(8), 1.0);
-        let mut v = Vec::new();
-        push_b_row_sectors(&mut v, 3, 128);
-        assert_eq!(v, (48..64).collect::<Vec<u64>>());
+        let mut s = SectorStream::new();
+        push_b_row_sectors(&mut s, 3, 128);
+        assert_eq!(s.to_vec(), (48..64).collect::<Vec<u64>>());
+        assert_eq!(s.num_runs(), 1); // one contiguous row == one run
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::util::{
 use crate::SpmmKernel;
 use dtc_formats::tf32::round_to_tf32;
 use dtc_formats::{CsrMatrix, CvseMatrix, DenseMatrix, FormatError};
-use dtc_sim::{Device, KernelTrace, TbWork};
+use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// Row groups per thread block.
 const GROUPS_PER_TB: usize = 8;
@@ -103,7 +103,7 @@ impl SpmmKernel for VectorSparseSpmm {
         for chunk in groups.chunks(GROUPS_PER_TB) {
             let mut slots = 0.0; // 8-vector tiles
             let mut vectors = 0.0;
-            let mut addrs = Vec::new();
+            let mut addrs = SectorStream::new();
             for &g in chunk {
                 let (cols, _) = self.cvse.group(g);
                 slots += (cols.len() as f64 / 8.0).ceil();
@@ -127,7 +127,7 @@ impl SpmmKernel for VectorSparseSpmm {
                 epilogue_sectors: chunk.len() as f64 * vlen * b_row_sectors,
                 iters: slots,
                 overlap_a_fetch: true,
-                b_sector_addrs: addrs,
+                b_stream: addrs,
                 ..TbWork::default()
             });
         }

@@ -26,7 +26,7 @@ pub const BLOCKS_PER_TB: usize = 32;
 /// let a = gen::long_row(2048, 2048, 150.0, 1.5, 2); // skewed windows
 /// let device = Device::rtx4090();
 /// let busy_gini = |r: &dtc_sim::SimReport| {
-///     gini(&r.sm_busy_cycles.iter().map(|&c| c as usize).collect::<Vec<_>>())
+///     gini(&r.sm_busy_cycles().iter().map(|&c| c as usize).collect::<Vec<_>>())
 /// };
 /// let base = busy_gini(&DtcKernel::new(&a).simulate(64, &device));
 /// let balanced = busy_gini(&BalancedDtcKernel::new(&a).simulate(64, &device));
@@ -161,7 +161,7 @@ impl SpmmKernel for BalancedDtcKernel {
                 }
                 if record_b_addrs {
                     for &c in metcf.block_cols(t) {
-                        push_b_row_sectors(&mut tb.b_sector_addrs, c as usize, n);
+                        push_b_row_sectors(&mut tb.b_stream, c as usize, n);
                     }
                 }
             }
@@ -215,8 +215,8 @@ mod tests {
         let device = Device::rtx4090();
         let base = DtcKernel::new(&a).simulate(128, &device);
         let bal = BalancedDtcKernel::new(&a).simulate(128, &device);
-        let g_base = gini(&base.sm_busy_cycles.iter().map(|&c| c as usize).collect::<Vec<_>>());
-        let g_bal = gini(&bal.sm_busy_cycles.iter().map(|&c| c as usize).collect::<Vec<_>>());
+        let g_base = gini(&base.sm_busy_cycles().iter().map(|&c| c as usize).collect::<Vec<_>>());
+        let g_bal = gini(&bal.sm_busy_cycles().iter().map(|&c| c as usize).collect::<Vec<_>>());
         assert!(g_bal < g_base, "gini base={g_base} balanced={g_bal}");
     }
 
@@ -253,7 +253,7 @@ mod tests {
         let a = CsrMatrix::from_triplets(16, 640, &t).unwrap();
         let k = BalancedDtcKernel::new(&a);
         let trace = k.trace(64, &Device::rtx4090(), false);
-        let atoms: f64 = trace.tbs.iter().map(|tb| tb.atom_ops).sum();
+        let atoms: f64 = trace.iter_tbs().map(|tb| tb.atom_ops).sum();
         assert!(atoms > 0.0);
         let r = simulate(&Device::rtx4090(), &trace, &SimOptions::default());
         assert!(r.time_ms > 0.0);

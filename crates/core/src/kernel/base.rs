@@ -196,7 +196,7 @@ impl SpmmKernel for DtcKernel {
                 tb.lsu_b_sectors += cost.lsu_b;
                 if record_b_addrs {
                     for &c in self.metcf.block_cols(t) {
-                        push_b_row_sectors(&mut tb.b_sector_addrs, c as usize, n);
+                        push_b_row_sectors(&mut tb.b_stream, c as usize, n);
                     }
                 }
             }

@@ -6,8 +6,30 @@
 //! hit in the (SM-shared) L2. To capture that, the trace's per-TB B-access
 //! streams are replayed in scheduled-wave order with round-robin
 //! interleaving between the blocks of a wave.
+//!
+//! # Set sharding
+//!
+//! A set-associative cache decomposes *exactly* by set index: an access to
+//! sector `a` touches only set `a mod S`, and each set's LRU state depends
+//! only on the subsequence of accesses mapped to it, in order. Partitioning
+//! the sets across `T` workers (worker `t` owns sets `s ≡ t (mod T)`) and
+//! having every worker walk the full interleaved stream — keeping only its
+//! own sets — therefore reproduces the serial model's per-set histories
+//! verbatim. Hit and access counts are integers, so their sum over shards
+//! is bit-identical to the serial count at any thread count; the serial
+//! path is the 1-shard case of the same code.
+//!
+//! Sharding would be useless if every worker paid the full decode cost, so
+//! workers never materialize foreign addresses: inside one encoded run
+//! (consecutive addresses), the members of shard `t` are an arithmetic
+//! progression of stride `T` (between multiples of `S`, where `a mod S`
+//! advances with `a`), and [`advance_chunk`] steps directly between them.
+//! Per-shard work is `O(members + runs)`, not `O(sectors)`.
 
 use crate::{Device, KernelTrace};
+
+/// Round-robin chunk size for interleaving the streams of one wave.
+const CHUNK: usize = 16;
 
 /// A set-associative, 32-byte-sector LRU cache.
 #[derive(Debug)]
@@ -22,10 +44,8 @@ pub struct L2Cache {
 impl L2Cache {
     /// Builds a cache model for the given device's L2 parameters.
     pub fn for_device(device: &Device) -> Self {
-        let lines = (device.l2_bytes / device.sector_bytes as u64).max(1) as usize;
-        let ways = device.l2_ways.max(1);
-        let num_sets = (lines / ways).max(1);
-        L2Cache { sets: vec![Vec::new(); num_sets], ways, num_sets, hits: 0, accesses: 0 }
+        let (num_sets, ways) = l2_geometry(device);
+        Self::with_geometry(num_sets, ways)
     }
 
     /// Builds a cache with explicit geometry (for tests).
@@ -79,38 +99,185 @@ impl L2Cache {
     }
 }
 
+/// The device's L2 geometry as `(num_sets, ways)`.
+fn l2_geometry(device: &Device) -> (usize, usize) {
+    let lines = (device.l2_bytes / device.sector_bytes as u64).max(1) as usize;
+    let ways = device.l2_ways.max(1);
+    ((lines / ways).max(1), ways)
+}
+
 /// Replays a trace's recorded B-sector streams through the device's L2.
 ///
 /// Thread blocks are grouped into waves of `num_sms × occupancy` (the set
 /// of concurrently resident blocks); within a wave, accesses interleave
-/// round-robin in chunks, approximating concurrent execution. Returns the
-/// overall hit rate; 0.0 when the trace recorded no addresses.
+/// round-robin in chunks, approximating concurrent execution. The replay
+/// is sharded by set index over [`dtc_par::num_threads`] workers (see the
+/// module docs) — hit counts are bit-identical to the serial model at any
+/// thread count. Returns the overall hit rate; 0.0 when the trace recorded
+/// no addresses.
 pub fn simulate_l2_over_trace(device: &Device, trace: &KernelTrace) -> f64 {
-    let mut cache = L2Cache::for_device(device);
+    let (hits, accesses) = l2_counts_over_trace(device, trace, dtc_par::num_threads());
+    if accesses == 0 {
+        0.0
+    } else {
+        hits as f64 / accesses as f64
+    }
+}
+
+/// [`simulate_l2_over_trace`] with an explicit shard count, returning the
+/// exact `(hits, accesses)` counters. `threads == 1` is the serial model.
+pub fn l2_counts_over_trace(device: &Device, trace: &KernelTrace, threads: usize) -> (u64, u64) {
+    if !trace.has_streams() || trace.num_tbs() == 0 {
+        return (0, 0);
+    }
+    let (num_sets, ways) = l2_geometry(device);
     let wave = (device.num_sms * trace.occupancy.max(1)).max(1);
-    const CHUNK: usize = 16;
-    for wave_tbs in trace.tbs.chunks(wave) {
-        let mut cursors: Vec<usize> = vec![0; wave_tbs.len()];
-        let mut remaining = wave_tbs.len();
-        while remaining > 0 {
-            remaining = 0;
-            for (tb, cursor) in wave_tbs.iter().zip(cursors.iter_mut()) {
-                let stream = &tb.b_sector_addrs;
-                if *cursor >= stream.len() {
-                    continue;
-                }
-                let end = (*cursor + CHUNK).min(stream.len());
-                for &addr in &stream[*cursor..end] {
-                    cache.access(addr);
-                }
-                *cursor = end;
-                if end < stream.len() {
-                    remaining += 1;
-                }
+    let shards = threads.max(1).min(num_sets);
+    let per_shard: Vec<(u64, u64)> = dtc_par::par_map_collect_with(shards, shards, |shard| {
+        replay_shard(trace, wave, num_sets, ways, shard, shards)
+    });
+    let mut hits = 0u64;
+    let mut accesses = 0u64;
+    for (h, a) in per_shard {
+        hits += h;
+        accesses += a;
+    }
+    (hits, accesses)
+}
+
+/// Counts `(hits, accesses)` of one shard — the unit of parallel work
+/// inside [`l2_counts_over_trace`]. Summing over `shard in 0..num_shards`
+/// reproduces the serial counts exactly. Public so benchmarks can measure
+/// per-shard critical paths independently of the host's core count.
+pub fn l2_shard_counts(
+    device: &Device,
+    trace: &KernelTrace,
+    shard: usize,
+    num_shards: usize,
+) -> (u64, u64) {
+    if !trace.has_streams() || trace.num_tbs() == 0 || shard >= num_shards {
+        return (0, 0);
+    }
+    let (num_sets, ways) = l2_geometry(device);
+    let wave = (device.num_sms * trace.occupancy.max(1)).max(1);
+    replay_shard(trace, wave, num_sets, ways, shard, num_shards)
+}
+
+/// A thread block's replay position inside its encoded stream.
+#[derive(Clone, Copy)]
+struct TbPos {
+    run: usize,
+    offset: u64,
+}
+
+/// Consumes up to `budget` decoded positions from `runs` starting at `pos`,
+/// visiting — in stream order — only the addresses whose set index belongs
+/// to shard `shard` of `num_shards`.
+///
+/// Within a run, `a mod num_sets` increases with `a` between multiples of
+/// `num_sets`, so the shard's members satisfy a fixed residue `a ≡ r (mod
+/// num_shards)` per segment and are enumerated by stepping `num_shards` —
+/// foreign addresses are skipped arithmetically, never decoded.
+fn advance_chunk(
+    runs: &[crate::SectorRun],
+    pos: &mut TbPos,
+    mut budget: u64,
+    num_sets: u64,
+    shard: u64,
+    num_shards: u64,
+    mut visit: impl FnMut(u64),
+) {
+    while budget > 0 {
+        let Some(run) = runs.get(pos.run) else { return };
+        let len = run.len as u64;
+        let take = (len - pos.offset).min(budget);
+        let a0 = run.start + pos.offset;
+        let a1 = a0 + take;
+        // Split at multiples of num_sets: the wrap changes the residue.
+        let mut a = a0;
+        while a < a1 {
+            let k = a / num_sets;
+            let seg_end = a1.min((k + 1).saturating_mul(num_sets));
+            // a belongs to the shard iff (a - k·S) ≡ shard (mod T), i.e.
+            // a ≡ shard + k·S (mod T).
+            let residue = (shard + (k % num_shards) * (num_sets % num_shards)) % num_shards;
+            let mut x = a + (residue + num_shards - a % num_shards) % num_shards;
+            while x < seg_end {
+                visit(x);
+                x += num_shards;
             }
+            a = seg_end;
+        }
+        pos.offset += take;
+        budget -= take;
+        if pos.offset == len {
+            pos.run += 1;
+            pos.offset = 0;
         }
     }
-    cache.hit_rate()
+}
+
+/// Replays the interleaved access stream, modeling only the sets
+/// `s ≡ shard (mod num_shards)` and counting their hits and accesses.
+fn replay_shard(
+    trace: &KernelTrace,
+    wave: usize,
+    num_sets: usize,
+    ways: usize,
+    shard: usize,
+    num_shards: usize,
+) -> (u64, u64) {
+    // Local storage for the shard's sets: global set `s` (with
+    // `s % num_shards == shard`) lives at local index `s / num_shards`.
+    let local_sets = (num_sets - shard).div_ceil(num_shards);
+    let mut sets: Vec<Vec<u64>> = vec![Vec::new(); local_sets];
+    let mut hits = 0u64;
+    let mut accesses = 0u64;
+
+    let n = trace.num_tbs();
+    let mut wave_start = 0usize;
+    while wave_start < n {
+        let wave_end = (wave_start + wave).min(n);
+        let mut pos = vec![TbPos { run: 0, offset: 0 }; wave_end - wave_start];
+        loop {
+            let mut progressed = false;
+            for (j, p) in pos.iter_mut().enumerate() {
+                let runs = trace.stream(wave_start + j).runs();
+                if p.run >= runs.len() {
+                    continue;
+                }
+                progressed = true;
+                advance_chunk(
+                    runs,
+                    p,
+                    CHUNK as u64,
+                    num_sets as u64,
+                    shard as u64,
+                    num_shards as u64,
+                    |addr| {
+                        accesses += 1;
+                        let set = (addr as usize) % num_sets;
+                        let lines = &mut sets[set / num_shards];
+                        if let Some(i) = lines.iter().position(|&t| t == addr) {
+                            let tag = lines.remove(i);
+                            lines.push(tag);
+                            hits += 1;
+                        } else {
+                            if lines.len() >= ways {
+                                lines.remove(0); // evict LRU
+                            }
+                            lines.push(addr);
+                        }
+                    },
+                );
+            }
+            if !progressed {
+                break;
+            }
+        }
+        wave_start = wave_end;
+    }
+    (hits, accesses)
 }
 
 #[cfg(test)]
@@ -158,9 +325,8 @@ mod tests {
         let mut trace = KernelTrace::new(1, 8);
         // Two TBs in the same wave touching identical sectors: second
         // pass over the stream hits.
-        let addrs: Vec<u64> = (0..1000).collect();
         for _ in 0..2 {
-            trace.push(TbWork { b_sector_addrs: addrs.clone(), ..TbWork::default() });
+            trace.push(TbWork { b_stream: (0..1000).collect(), ..TbWork::default() });
         }
         let hit = simulate_l2_over_trace(&device, &trace);
         assert!(hit > 0.4, "hit={hit}");
@@ -170,10 +336,64 @@ mod tests {
     fn disjoint_streams_do_not_hit() {
         let device = Device::rtx4090();
         let mut trace = KernelTrace::new(1, 8);
-        trace.push(TbWork { b_sector_addrs: (0..1000).collect(), ..TbWork::default() });
-        trace
-            .push(TbWork { b_sector_addrs: (1_000_000..1_001_000).collect(), ..TbWork::default() });
+        trace.push(TbWork { b_stream: (0..1000).collect(), ..TbWork::default() });
+        trace.push(TbWork { b_stream: (1_000_000..1_001_000).collect(), ..TbWork::default() });
         let hit = simulate_l2_over_trace(&device, &trace);
         assert!(hit < 0.05, "hit={hit}");
+    }
+
+    #[test]
+    fn sharded_counts_match_serial_exactly() {
+        let device = Device::rtx4090();
+        let mut trace = KernelTrace::new(1, 8);
+        // Mixed reuse: overlapping strided streams across several waves.
+        for i in 0..300u64 {
+            let base = (i % 7) * 512;
+            trace.push(TbWork {
+                hmma_ops: (i % 3) as f64,
+                b_stream: (base..base + 96).chain((i * 31) % 4096..(i * 31) % 4096 + 8).collect(),
+                ..TbWork::default()
+            });
+        }
+        let serial = l2_counts_over_trace(&device, &trace, 1);
+        assert!(serial.1 > 0);
+        for threads in [2usize, 3, 4, 8, 16] {
+            assert_eq!(l2_counts_over_trace(&device, &trace, threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_replay_matches_flat_l2cache_on_one_wave() {
+        // With a wave larger than the trace and a single shard, the replay
+        // must agree with pushing the interleaved stream through L2Cache.
+        let device = Device::rtx4090();
+        let mut trace = KernelTrace::new(1, 8);
+        let streams: Vec<Vec<u64>> =
+            (0..5u64).map(|i| (i * 100..i * 100 + 40).chain(0..20).collect()).collect();
+        for s in &streams {
+            trace.push(TbWork { b_stream: s.clone().into(), ..TbWork::default() });
+        }
+        let (hits, accesses) = l2_counts_over_trace(&device, &trace, 1);
+
+        let mut flat = L2Cache::for_device(&device);
+        let mut cursors: Vec<usize> = vec![0; streams.len()];
+        let mut remaining = streams.len();
+        while remaining > 0 {
+            remaining = 0;
+            for (s, cur) in streams.iter().zip(cursors.iter_mut()) {
+                if *cur >= s.len() {
+                    continue;
+                }
+                let end = (*cur + CHUNK).min(s.len());
+                for &a in &s[*cur..end] {
+                    flat.access(a);
+                }
+                *cur = end;
+                if end < s.len() {
+                    remaining += 1;
+                }
+            }
+        }
+        assert_eq!((hits, accesses), (flat.hits(), flat.accesses()));
     }
 }

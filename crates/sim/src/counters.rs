@@ -53,7 +53,7 @@ impl InstructionMix {
 }
 
 /// The micro-architectural counters of one simulated kernel launch.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CounterSet {
     /// Busy cycles per SM (sum of durations of the blocks it ran).
     pub sm_cycles: Vec<f64>,

@@ -1,3 +1,18 @@
+//! Kernel traces: per-thread-block work descriptors, compressed by
+//! interning duplicate descriptors into *duration classes*.
+//!
+//! Real launches of the paper's kernels put 10⁵–10⁶ thread blocks on the
+//! device, but the work descriptors are overwhelmingly duplicates (every
+//! full row window of the same shape lowers to the same instruction mix).
+//! [`KernelTrace`] therefore stores one [`TbWork`] per *unique* descriptor
+//! (the class table) plus a per-block class id, so the simulator computes
+//! durations and stalls once per class instead of once per block, while
+//! the per-block launch order — which scheduling and cache replay depend
+//! on — is fully preserved.
+
+use crate::stream::SectorStream;
+use std::collections::HashMap;
+
 /// The per-thread-block work descriptor a kernel implementation lowers to.
 ///
 /// All `*_ops` fields are warp-level instruction counts for the whole
@@ -35,17 +50,74 @@ pub struct TbWork {
     /// Sparse-A fetch is prefetched with `cp.async` double buffering and
     /// overlaps Tensor-Core compute (§4.4.2).
     pub overlap_a_fetch: bool,
-    /// Recorded B-access sector addresses for L2 simulation (optional;
-    /// only populated when the caller wants a cache simulation).
-    pub b_sector_addrs: Vec<u64>,
+    /// Run-length-encoded B-access sector stream for L2 simulation
+    /// (optional; only populated when the caller wants a cache simulation).
+    /// Not part of the duration class — the trace stores it per block.
+    pub b_stream: SectorStream,
 }
 
-/// A lowered kernel: one [`TbWork`] per thread block plus launch-wide
-/// configuration.
+/// FNV-1a over the duration-determining fields of a [`TbWork`] — every
+/// field except the sector stream, compared bit-for-bit (`f64::to_bits`)
+/// so interning never conflates values that would time differently.
+fn work_key(tb: &TbWork) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for v in work_fields(tb) {
+        mix(v.to_bits());
+    }
+    mix(tb.overlap_a_fetch as u64);
+    h
+}
+
+/// The twelve numeric work fields, in a fixed order, for hashing/equality.
+fn work_fields(tb: &TbWork) -> [f64; 12] {
+    [
+        tb.alu_ops,
+        tb.fp_ops,
+        tb.lsu_a_sectors,
+        tb.lsu_b_sectors,
+        tb.smem_ops,
+        tb.hmma_ops,
+        tb.hmma_count,
+        tb.imad_count,
+        tb.shfl_ops,
+        tb.epilogue_sectors,
+        tb.atom_ops,
+        tb.iters,
+    ]
+}
+
+/// Bitwise equality of the duration-determining fields.
+fn work_eq(a: &TbWork, b: &TbWork) -> bool {
+    a.overlap_a_fetch == b.overlap_a_fetch
+        && work_fields(a).iter().zip(work_fields(b).iter()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+static EMPTY_STREAM: SectorStream = SectorStream::new();
+
+/// A lowered kernel: launch-wide configuration plus a *compressed* block
+/// list — a class table of unique [`TbWork`] descriptors, a per-block
+/// class id in launch order, and per-block sector streams when recorded.
 #[derive(Debug, Clone)]
 pub struct KernelTrace {
-    /// Thread blocks in launch (block-index) order.
-    pub tbs: Vec<TbWork>,
+    /// Unique work descriptors (their `b_stream` is always empty).
+    classes: Vec<TbWork>,
+    /// Per thread block, in launch order: index into `classes`.
+    class_ids: Vec<u32>,
+    /// Per-block B-sector streams; empty vector when no block recorded any.
+    streams: Vec<SectorStream>,
+    /// Work-field hash → candidate class indices (collision bucket).
+    index: HashMap<u64, Vec<u32>>,
+    /// When false, `push` appends a fresh class per block (the legacy
+    /// uncompressed layout, kept for benchmarking and equivalence tests).
+    interning: bool,
     /// Thread blocks resident per SM (the paper measures 6 for DTC-SpMM).
     pub occupancy: usize,
     /// Warps per thread block.
@@ -57,26 +129,145 @@ pub struct KernelTrace {
 impl KernelTrace {
     /// Creates an empty trace with the given occupancy and warp count.
     pub fn new(occupancy: usize, warps_per_tb: usize) -> Self {
-        KernelTrace { tbs: Vec::new(), occupancy, warps_per_tb, assumed_l2_hit_rate: 0.5 }
+        KernelTrace {
+            classes: Vec::new(),
+            class_ids: Vec::new(),
+            streams: Vec::new(),
+            index: HashMap::new(),
+            interning: true,
+            occupancy,
+            warps_per_tb,
+            assumed_l2_hit_rate: 0.5,
+        }
+    }
+
+    /// Enables or disables class interning for subsequent [`push`]es.
+    /// With interning off every block gets its own class — the exact
+    /// pre-compression layout, retained as the benchmark baseline and the
+    /// reference side of the equivalence tests.
+    ///
+    /// [`push`]: KernelTrace::push
+    pub fn set_interning(&mut self, on: bool) {
+        self.interning = on;
     }
 
     /// Appends a thread block (defaulting `imad_count` to `alu_ops` when
-    /// the caller left it zero but issued ALU work).
+    /// the caller left it zero but issued ALU work), interning its work
+    /// descriptor into the class table and storing its sector stream — if
+    /// any — per block.
     pub fn push(&mut self, mut tb: TbWork) {
         if tb.imad_count == 0.0 && tb.alu_ops > 0.0 {
             tb.imad_count = tb.alu_ops;
         }
-        self.tbs.push(tb);
+        let mut stream = std::mem::take(&mut tb.b_stream);
+        stream.shrink_to_fit(); // frozen once stored: footprint == runs
+        let class = if self.interning { self.intern(tb) } else { self.append_class(tb) };
+        self.class_ids.push(class);
+        // Streams are stored lazily: traces lowered without address
+        // recording never allocate the per-block vector at all.
+        if !stream.is_empty() {
+            self.streams.resize(self.class_ids.len() - 1, SectorStream::new());
+            self.streams.push(stream);
+        } else if !self.streams.is_empty() {
+            self.streams.push(SectorStream::new());
+        }
+    }
+
+    fn intern(&mut self, tb: TbWork) -> u32 {
+        let key = work_key(&tb);
+        if let Some(bucket) = self.index.get(&key) {
+            for &c in bucket {
+                if work_eq(&self.classes[c as usize], &tb) {
+                    return c;
+                }
+            }
+        }
+        let c = self.classes.len() as u32;
+        self.classes.push(tb);
+        self.index.entry(key).or_default().push(c);
+        c
+    }
+
+    fn append_class(&mut self, tb: TbWork) -> u32 {
+        let c = self.classes.len() as u32;
+        self.classes.push(tb);
+        c
     }
 
     /// Number of thread blocks.
     pub fn num_tbs(&self) -> usize {
-        self.tbs.len()
+        self.class_ids.len()
     }
 
-    /// Total Tensor-Core work across all blocks (`m16n8k8`-equivalents).
+    /// Number of unique duration classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The class table: one [`TbWork`] per unique descriptor.
+    pub fn classes(&self) -> &[TbWork] {
+        &self.classes
+    }
+
+    /// Per-block class ids, in launch order.
+    pub fn class_ids(&self) -> &[u32] {
+        &self.class_ids
+    }
+
+    /// How many blocks each class represents (indexed like
+    /// [`classes`](KernelTrace::classes)).
+    pub fn class_multiplicities(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.classes.len()];
+        for &c in &self.class_ids {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// The work descriptor of block `i` (its interned class).
+    pub fn tb(&self, i: usize) -> &TbWork {
+        &self.classes[self.class_ids[i] as usize]
+    }
+
+    /// Iterates the per-block work descriptors in launch order — the view
+    /// the uncompressed trace used to expose directly.
+    pub fn iter_tbs(&self) -> impl Iterator<Item = &TbWork> + '_ {
+        self.class_ids.iter().map(|&c| &self.classes[c as usize])
+    }
+
+    /// The recorded B-sector stream of block `i` (empty when the trace was
+    /// lowered without address recording).
+    pub fn stream(&self, i: usize) -> &SectorStream {
+        self.streams.get(i).unwrap_or(&EMPTY_STREAM)
+    }
+
+    /// Whether any block recorded a sector stream.
+    pub fn has_streams(&self) -> bool {
+        !self.streams.is_empty()
+    }
+
+    /// Blocks-per-class compression ratio (1.0 when every block is unique).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.classes.is_empty() {
+            1.0
+        } else {
+            self.class_ids.len() as f64 / self.classes.len() as f64
+        }
+    }
+
+    /// Approximate heap footprint of the trace in bytes: class table,
+    /// class-id vector and encoded sector streams.
+    pub fn memory_bytes(&self) -> usize {
+        self.classes.capacity() * std::mem::size_of::<TbWork>()
+            + self.class_ids.capacity() * std::mem::size_of::<u32>()
+            + self.streams.capacity() * std::mem::size_of::<SectorStream>()
+            + self.streams.iter().map(|s| s.memory_bytes()).sum::<usize>()
+    }
+
+    /// Total Tensor-Core work across all blocks (`m16n8k8`-equivalents),
+    /// summed in launch order (bit-compatible with the per-block layout).
     pub fn total_hmma_ops(&self) -> f64 {
-        self.tbs.iter().map(|tb| tb.hmma_ops).sum()
+        self.iter_tbs().map(|tb| tb.hmma_ops).sum()
     }
 }
 
@@ -88,9 +279,11 @@ mod tests {
     fn push_defaults_imad_count() {
         let mut t = KernelTrace::new(6, 8);
         t.push(TbWork { alu_ops: 42.0, ..TbWork::default() });
-        assert_eq!(t.tbs[0].imad_count, 42.0);
+        assert_eq!(t.tb(0).imad_count, 42.0);
         t.push(TbWork { alu_ops: 42.0, imad_count: 7.0, ..TbWork::default() });
-        assert_eq!(t.tbs[1].imad_count, 7.0);
+        assert_eq!(t.tb(1).imad_count, 7.0);
+        // The two differ in imad_count, so they are distinct classes.
+        assert_eq!(t.num_classes(), 2);
     }
 
     #[test]
@@ -100,5 +293,114 @@ mod tests {
         t.push(TbWork { hmma_ops: 2.5, ..TbWork::default() });
         assert_eq!(t.num_tbs(), 2);
         assert_eq!(t.total_hmma_ops(), 4.0);
+    }
+
+    #[test]
+    fn duplicate_blocks_intern_to_one_class() {
+        let mut t = KernelTrace::new(6, 8);
+        for _ in 0..1000 {
+            t.push(TbWork { hmma_ops: 3.0, alu_ops: 5.0, iters: 4.0, ..TbWork::default() });
+        }
+        for _ in 0..500 {
+            t.push(TbWork { hmma_ops: 7.0, alu_ops: 5.0, iters: 4.0, ..TbWork::default() });
+        }
+        assert_eq!(t.num_tbs(), 1500);
+        assert_eq!(t.num_classes(), 2);
+        assert_eq!(t.class_multiplicities(), vec![1000, 500]);
+        assert!((t.compression_ratio() - 750.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interning_distinguishes_every_work_field() {
+        // Each single-field perturbation must create a new class.
+        let base = TbWork { iters: 2.0, ..TbWork::default() };
+        let variants: Vec<TbWork> = vec![
+            TbWork { alu_ops: 1.0, ..base.clone() },
+            TbWork { fp_ops: 1.0, ..base.clone() },
+            TbWork { lsu_a_sectors: 1.0, ..base.clone() },
+            TbWork { lsu_b_sectors: 1.0, ..base.clone() },
+            TbWork { smem_ops: 1.0, ..base.clone() },
+            TbWork { hmma_ops: 1.0, ..base.clone() },
+            TbWork { hmma_count: 1.0, ..base.clone() },
+            TbWork { imad_count: 1.0, ..base.clone() },
+            TbWork { shfl_ops: 1.0, ..base.clone() },
+            TbWork { epilogue_sectors: 1.0, ..base.clone() },
+            TbWork { atom_ops: 1.0, ..base.clone() },
+            TbWork { iters: 3.0, ..base.clone() },
+            TbWork { overlap_a_fetch: true, ..base.clone() },
+        ];
+        let mut t = KernelTrace::new(6, 8);
+        t.push(base);
+        let n = variants.len();
+        for v in variants {
+            t.push(v);
+        }
+        assert_eq!(t.num_classes(), n + 1);
+    }
+
+    #[test]
+    fn streams_stay_per_block_under_interning() {
+        let mut t = KernelTrace::new(6, 8);
+        let mk = |addr: u64| TbWork {
+            hmma_ops: 2.0,
+            b_stream: (addr..addr + 4).collect(),
+            ..TbWork::default()
+        };
+        t.push(mk(0));
+        t.push(mk(100));
+        t.push(mk(0));
+        assert_eq!(t.num_classes(), 1, "same work interns to one class");
+        assert_eq!(t.stream(0).to_vec(), (0..4).collect::<Vec<u64>>());
+        assert_eq!(t.stream(1).to_vec(), (100..104).collect::<Vec<u64>>());
+        assert_eq!(t.stream(2).to_vec(), (0..4).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn no_streams_means_no_per_block_allocation() {
+        let mut t = KernelTrace::new(6, 8);
+        for _ in 0..100 {
+            t.push(TbWork { hmma_ops: 1.0, ..TbWork::default() });
+        }
+        assert!(!t.has_streams());
+        assert!(t.stream(50).is_empty());
+    }
+
+    #[test]
+    fn late_first_stream_backfills_empties() {
+        let mut t = KernelTrace::new(6, 8);
+        t.push(TbWork::default());
+        t.push(TbWork { b_stream: vec![9, 10].into(), ..TbWork::default() });
+        assert!(t.has_streams());
+        assert!(t.stream(0).is_empty());
+        assert_eq!(t.stream(1).len(), 2);
+    }
+
+    #[test]
+    fn legacy_mode_keeps_one_class_per_block() {
+        let mut t = KernelTrace::new(6, 8);
+        t.set_interning(false);
+        for _ in 0..10 {
+            t.push(TbWork { hmma_ops: 1.0, ..TbWork::default() });
+        }
+        assert_eq!(t.num_classes(), 10);
+        assert_eq!(t.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn compressed_memory_is_smaller_on_duplicate_heavy_traces() {
+        let mut interned = KernelTrace::new(6, 8);
+        let mut legacy = KernelTrace::new(6, 8);
+        legacy.set_interning(false);
+        for i in 0..10_000 {
+            let tb = TbWork { hmma_ops: (i % 8) as f64, iters: 4.0, ..TbWork::default() };
+            interned.push(tb.clone());
+            legacy.push(tb);
+        }
+        assert!(
+            interned.memory_bytes() * 10 <= legacy.memory_bytes(),
+            "interned {} vs legacy {}",
+            interned.memory_bytes(),
+            legacy.memory_bytes()
+        );
     }
 }

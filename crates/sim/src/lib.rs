@@ -10,13 +10,17 @@
 //! - [`Device`] — an SM-array model with per-pipe throughputs and latencies
 //!   (presets: [`Device::rtx4090`], [`Device::rtx3090`]);
 //! - [`KernelTrace`] / [`TbWork`] — a kernel is lowered to per-thread-block
-//!   instruction and memory work, produced by the kernel crates;
+//!   instruction and memory work, produced by the kernel crates. The trace
+//!   interns duplicate work descriptors into duration *classes* and stores
+//!   B-access streams run-length-encoded ([`SectorStream`]), so large
+//!   launches cost memory and timing work proportional to their structural
+//!   variety, not their block count;
 //! - [`simulate`] — schedules thread blocks onto SMs with the paper's
 //!   policy model, combines per-pipe work into per-TB durations, and
 //!   produces a [`SimReport`] with makespan, per-SM timelines, pipeline
 //!   utilization and instruction counts;
 //! - [`cache::L2Cache`] — a sectored, set-associative LRU model for the
-//!   L2 hit-rate experiments.
+//!   L2 hit-rate experiments, replayed sharded by set index over `dtc-par`.
 //!
 //! # Example
 //!
@@ -44,14 +48,19 @@ mod pipeline;
 mod report;
 pub mod roofline;
 mod scheduler;
+mod stream;
 
+pub use cache::{l2_counts_over_trace, l2_shard_counts, simulate_l2_over_trace, L2Cache};
 pub use counters::{CounterSet, InstructionMix};
 pub use device::Device;
 pub use exec::tb_duration_event_driven;
 pub use kernel::{KernelTrace, TbWork};
-pub use pipeline::{tb_duration_cycles, tb_duration_cycles_with_occ, tb_stall_cycles};
+pub use pipeline::{
+    tb_duration_cycles, tb_duration_cycles_with_occ, tb_pipe_cycles, tb_stall_cycles,
+};
 pub use report::SimReport;
 pub use scheduler::{schedule, sm_for_block, ScheduleOutcome};
+pub use stream::{SectorCursor, SectorRun, SectorStream};
 
 /// How per-thread-block durations are computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,34 +85,56 @@ pub struct SimOptions {
     pub timing: TimingMode,
 }
 
+/// Per-class timing results, computed once per unique work descriptor.
+struct ClassTiming {
+    /// Block duration in SM cycles (pipe + stall, or event-driven replay).
+    duration: f64,
+    /// Dependency-stall cycles (exported as a counter).
+    stall: f64,
+    /// Tensor-Core busy cycles contributed by one block of this class.
+    tc_busy: f64,
+}
+
 /// Runs a kernel trace on a device model and returns the performance report.
 ///
 /// This is the single entry point every kernel implementation uses: lower
 /// the kernel to a [`KernelTrace`], then call `simulate`.
+///
+/// Durations and stall cycles are computed once per duration *class* (the
+/// trace's interned unique work descriptors) and expanded to launch order
+/// by class id, so both timing paths cost O(classes) instead of O(blocks).
+/// All floating-point accumulation still walks blocks in launch order with
+/// the per-class cached values, keeping every [`SimReport`] field
+/// bit-identical to the uncompressed model.
 pub fn simulate(device: &Device, trace: &KernelTrace, options: &SimOptions) -> SimReport {
     // Optional L2 simulation over the recorded access streams.
-    let l2_hit_rate =
-        if options.simulate_l2 { Some(cache::simulate_l2_over_trace(device, trace)) } else { None };
+    let l2_hit_rate = if options.simulate_l2 {
+        let _span = dtc_telemetry::span("sim.l2");
+        Some(cache::simulate_l2_over_trace(device, trace))
+    } else {
+        None
+    };
     let effective_hit = l2_hit_rate.unwrap_or(trace.assumed_l2_hit_rate);
 
     // Effective occupancy: a launch with fewer blocks than SM slots leaves
     // each resident block a larger share of its SM.
     let eff_occ =
-        trace.occupancy.max(1).min(trace.tbs.len().div_ceil(device.num_sms.max(1)).max(1));
+        trace.occupancy.max(1).min(trace.num_tbs().div_ceil(device.num_sms.max(1)).max(1));
 
-    // Per-TB durations, fanned out over host threads. Each TB's duration is
-    // a pure function of its own work, and `par_map_collect` returns them in
-    // TB order, so the schedule below sees exactly the serial sequence.
-    let durations: Vec<f64> = dtc_par::par_map_collect(trace.tbs.len(), |i| {
-        let tb = &trace.tbs[i];
-        match options.timing {
-            TimingMode::Analytical => pipeline::tb_duration_cycles_with_occ(
-                device,
-                eff_occ,
-                trace.warps_per_tb,
-                tb,
-                effective_hit,
-            ),
+    // Per-class timing, fanned out over host threads. Each class's timing is
+    // a pure function of its own work fields, and `par_map_collect` returns
+    // results in class order, so expansion below is deterministic.
+    let class_timing: Vec<ClassTiming> = dtc_par::par_map_collect(trace.num_classes(), |c| {
+        let tb = &trace.classes()[c];
+        let stall =
+            pipeline::tb_stall_cycles(device, eff_occ, trace.warps_per_tb, tb, effective_hit);
+        let duration = match options.timing {
+            // `pipe + stall` is the exact association of the combined
+            // analytical formula (pinned by a pipeline test), so computing
+            // the stall once serves both the duration and the counter.
+            TimingMode::Analytical => {
+                pipeline::tb_pipe_cycles(device, eff_occ, trace.warps_per_tb, tb) + stall
+            }
             TimingMode::EventDriven => exec::tb_duration_event_driven(
                 device,
                 eff_occ,
@@ -111,25 +142,32 @@ pub fn simulate(device: &Device, trace: &KernelTrace, options: &SimOptions) -> S
                 tb,
                 effective_hit,
             ),
-        }
+        };
+        let tc_busy = tb.hmma_ops / device.tc_hmma_per_cycle;
+        ClassTiming { duration, stall, tc_busy }
     });
+
+    // Expand per-class durations to launch order for the scheduler.
+    let durations: Vec<f64> =
+        trace.class_ids().iter().map(|&c| class_timing[c as usize].duration).collect();
 
     // Schedule onto SMs.
     let outcome = schedule(device, eff_occ, &durations);
 
-    // Pipeline-utilization accounting: a TB keeps the SM's TC pipe busy for
-    // hmma_ops / tc_throughput cycles regardless of slot sharing.
-    let tc_busy: f64 = trace.tbs.iter().map(|tb| tb.hmma_ops / device.tc_hmma_per_cycle).sum();
-    let total_sm_cycles = device.num_sms as f64 * outcome.makespan_cycles.max(1e-9);
-    let tc_utilization = (tc_busy / total_sm_cycles).min(1.0);
-
-    // Per-class instruction/transaction accounting — kept as first-class
-    // counters (Table 2's mixes, Fig 13's sectors) instead of discarded.
+    // Instruction/transaction accounting — kept as first-class counters
+    // (Table 2's mixes, Fig 13's sectors) instead of discarded. Blocks are
+    // walked in launch order: f64 accumulation order is part of the pinned
+    // bit-identical contract, and the per-class cached stall and TC-busy
+    // values make each step a lookup.
+    let mut tc_busy = 0.0f64;
     let mut instructions = InstructionMix::default();
     let mut b_sectors = 0.0f64;
     let mut other_sectors = 0.0f64;
     let mut stall_cycles = 0.0f64;
-    for tb in &trace.tbs {
+    for &c in trace.class_ids() {
+        let timing = &class_timing[c as usize];
+        let tb = &trace.classes()[c as usize];
+        tc_busy += timing.tc_busy;
         instructions.hmma += tb.hmma_count;
         instructions.imad += tb.imad_count;
         instructions.ffma += tb.fp_ops;
@@ -145,11 +183,15 @@ pub fn simulate(device: &Device, trace: &KernelTrace, options: &SimOptions) -> S
         instructions.stg_sectors += tb.epilogue_sectors;
         b_sectors += tb.lsu_b_sectors;
         other_sectors += tb.lsu_a_sectors + tb.epilogue_sectors;
-        stall_cycles +=
-            pipeline::tb_stall_cycles(device, eff_occ, trace.warps_per_tb, tb, effective_hit);
+        stall_cycles += timing.stall;
     }
     let imad_count = instructions.imad;
     let hmma_count = instructions.hmma;
+
+    // Pipeline-utilization accounting: a TB keeps the SM's TC pipe busy for
+    // hmma_ops / tc_throughput cycles regardless of slot sharing.
+    let total_sm_cycles = device.num_sms as f64 * outcome.makespan_cycles.max(1e-9);
+    let tc_utilization = (tc_busy / total_sm_cycles).min(1.0);
 
     // DRAM traffic: all sparse-A and C traffic is streaming (miss), B
     // traffic is filtered by the L2 hit rate.
@@ -172,7 +214,7 @@ pub fn simulate(device: &Device, trace: &KernelTrace, options: &SimOptions) -> S
         outcome.sm_busy_cycles.iter().map(|&b| b / cycles.max(1e-9)).collect();
 
     let counters = CounterSet {
-        sm_cycles: outcome.sm_busy_cycles.clone(),
+        sm_cycles: outcome.sm_busy_cycles,
         sm_blocks,
         sm_occupancy,
         effective_occupancy: eff_occ,
@@ -183,12 +225,11 @@ pub fn simulate(device: &Device, trace: &KernelTrace, options: &SimOptions) -> S
         stall_cycles,
     };
 
-    sim_telemetry(&counters);
+    sim_telemetry(trace, &counters);
 
     SimReport {
         cycles,
         time_ms: cycles / (device.sm_clock_ghz * 1e6),
-        sm_busy_cycles: outcome.sm_busy_cycles,
         sm_finish_cycles: outcome.sm_finish_cycles,
         tc_utilization,
         imad_count,
@@ -196,20 +237,29 @@ pub fn simulate(device: &Device, trace: &KernelTrace, options: &SimOptions) -> S
         imad_per_hmma: if hmma_count > 0.0 { imad_count / hmma_count } else { f64::INFINITY },
         dram_bytes,
         l2_hit_rate,
-        num_tbs: trace.tbs.len(),
+        num_tbs: trace.num_tbs(),
         counters,
     }
 }
 
 /// Bumps the process-wide registry with launch-level aggregates (cheap:
-/// two relaxed atomic adds through cached handles).
-fn sim_telemetry(counters: &CounterSet) {
+/// relaxed atomic writes through cached handles).
+fn sim_telemetry(trace: &KernelTrace, counters: &CounterSet) {
     use std::sync::OnceLock;
     static CALLS: OnceLock<&'static dtc_telemetry::Counter> = OnceLock::new();
     static TBS: OnceLock<&'static dtc_telemetry::Counter> = OnceLock::new();
+    static BLOCKS: OnceLock<&'static dtc_telemetry::Gauge> = OnceLock::new();
+    static CLASSES: OnceLock<&'static dtc_telemetry::Gauge> = OnceLock::new();
+    static BYTES: OnceLock<&'static dtc_telemetry::Gauge> = OnceLock::new();
     CALLS.get_or_init(|| dtc_telemetry::counter("sim.simulate.calls")).incr();
     TBS.get_or_init(|| dtc_telemetry::counter("sim.simulate.tbs"))
         .add(counters.total_blocks() as u64);
+    // Last-trace compression shape: blocks vs interned classes vs bytes held.
+    BLOCKS.get_or_init(|| dtc_telemetry::gauge("sim.trace.blocks")).set(trace.num_tbs() as f64);
+    CLASSES
+        .get_or_init(|| dtc_telemetry::gauge("sim.trace.classes"))
+        .set(trace.num_classes() as f64);
+    BYTES.get_or_init(|| dtc_telemetry::gauge("sim.trace.bytes")).set(trace.memory_bytes() as f64);
 }
 
 #[cfg(test)]
@@ -262,8 +312,8 @@ mod tests {
             trace.push(tb(1.0));
         }
         let r = simulate(&device, &trace, &SimOptions::default());
-        let max = r.sm_busy_cycles.iter().cloned().fold(0.0, f64::max);
-        let min = r.sm_busy_cycles.iter().cloned().fold(f64::MAX, f64::min);
+        let max = r.sm_busy_cycles().iter().cloned().fold(0.0, f64::max);
+        let min = r.sm_busy_cycles().iter().cloned().fold(f64::MAX, f64::min);
         assert!(max > min * 100.0);
     }
 
@@ -277,5 +327,34 @@ mod tests {
         let r = simulate(&device, &trace, &SimOptions::default());
         let expect_ms = 1e9 * 32.0 / (device.dram_bw_gbps * 1e9) * 1e3;
         assert!(r.time_ms >= expect_ms * 0.99, "{} vs {}", r.time_ms, expect_ms);
+    }
+
+    #[test]
+    fn interned_trace_matches_legacy_bit_for_bit() {
+        // The headline contract: duplicate-heavy compressed traces report
+        // exactly what the one-class-per-block representation reports.
+        let device = Device::rtx4090();
+        let mut interned = KernelTrace::new(6, 8);
+        let mut legacy = KernelTrace::new(6, 8);
+        legacy.set_interning(false);
+        for i in 0..500usize {
+            let w = TbWork {
+                hmma_ops: (i % 7) as f64 * 10.0,
+                hmma_count: (i % 7) as f64 * 20.0,
+                lsu_b_sectors: (i % 3) as f64 * 64.0,
+                iters: 4.0,
+                ..TbWork::default()
+            };
+            interned.push(w.clone());
+            legacy.push(w);
+        }
+        assert!(interned.num_classes() < 25);
+        assert_eq!(legacy.num_classes(), 500);
+        for timing in [TimingMode::Analytical, TimingMode::EventDriven] {
+            let opts = SimOptions { simulate_l2: false, timing };
+            let a = simulate(&device, &interned, &opts);
+            let b = simulate(&device, &legacy, &opts);
+            assert_eq!(a, b, "timing={timing:?}");
+        }
     }
 }

@@ -31,6 +31,16 @@ pub fn tb_duration_cycles_with_occ(
     tb: &TbWork,
     l2_hit_rate: f64,
 ) -> f64 {
+    tb_pipe_cycles(device, occupancy, warps_per_tb, tb)
+        + tb_stall_cycles(device, occupancy, warps_per_tb, tb, l2_hit_rate)
+}
+
+/// The issue-throughput portion of [`tb_duration_cycles_with_occ`]: launch
+/// overhead plus per-pipe issue time, *without* the dependency-stall term.
+/// The simulator computes stalls once per duration class and adds them back
+/// (`duration = pipe + stall`, the exact association of the combined
+/// formula), so both values fall out of one pass.
+pub fn tb_pipe_cycles(device: &Device, occupancy: usize, warps_per_tb: usize, tb: &TbWork) -> f64 {
     let occ = occupancy.max(1) as f64;
     // Issue capability: an SM needs ~16 resident warps to saturate its
     // pipes; a lone thread block of `warps_per_tb` warps cannot. The cap
@@ -52,7 +62,6 @@ pub fn tb_duration_cycles_with_occ(
 
     device.tb_launch_overhead_cycles / occ
         + (alu_t + fp_t + smem_t + shfl_t + lsu_b_t + a_and_tc + epi_t) / issue_cap
-        + tb_stall_cycles(device, occupancy, warps_per_tb, tb, l2_hit_rate)
 }
 
 /// The dependency-stall term of [`tb_duration_cycles_with_occ`]: cycles one
@@ -138,6 +147,21 @@ mod tests {
             tb_duration_cycles(&device, &t6, &base_tb(), 0.5)
                 > tb_duration_cycles(&device, &t1, &base_tb(), 0.5)
         );
+    }
+
+    #[test]
+    fn duration_decomposes_exactly_into_pipe_plus_stall() {
+        // The class-interned simulate() path recombines the two terms; the
+        // split must be bit-exact, not merely close.
+        let device = Device::rtx4090();
+        for hit in [0.0, 0.3, 0.9] {
+            for occ in [1usize, 2, 6] {
+                let d = tb_duration_cycles_with_occ(&device, occ, 8, &base_tb(), hit);
+                let pipe = tb_pipe_cycles(&device, occ, 8, &base_tb());
+                let stall = tb_stall_cycles(&device, occ, 8, &base_tb(), hit);
+                assert_eq!(d.to_bits(), (pipe + stall).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -2,15 +2,16 @@ use crate::counters::CounterSet;
 
 /// The result of simulating one kernel launch — the counters NVIDIA Nsight
 /// Compute would report on real hardware.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (including the full [`CounterSet`]),
+/// which the equivalence tests use to pin compressed-trace simulation
+/// bit-identical to the legacy per-block model.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Kernel duration in SM-clock cycles (after the DRAM-bandwidth bound).
     pub cycles: f64,
     /// Kernel duration in milliseconds.
     pub time_ms: f64,
-    /// Per-SM busy cycles (sum of durations of blocks run on each SM) —
-    /// the Fig 3 / Fig 15(b) data.
-    pub sm_busy_cycles: Vec<f64>,
     /// Per-SM finish time of the last block.
     pub sm_finish_cycles: Vec<f64>,
     /// Tensor-Core pipeline utilization in `[0, 1]` (Table 2, Fig 14).
@@ -45,11 +46,18 @@ impl SimReport {
         }
     }
 
+    /// Per-SM busy cycles (sum of durations of blocks run on each SM) —
+    /// the Fig 3 / Fig 15(b) data. Stored once, in
+    /// [`CounterSet::sm_cycles`]; this accessor keeps the familiar name.
+    pub fn sm_busy_cycles(&self) -> &[f64] {
+        &self.counters.sm_cycles
+    }
+
     /// Per-SM relative busy fraction (busy / makespan), the quantity plotted
     /// in Fig 3 and Fig 15(b). Empty if the kernel launched no blocks.
     pub fn sm_busy_fractions(&self) -> Vec<f64> {
         let makespan = self.cycles.max(1e-9);
-        self.sm_busy_cycles.iter().map(|&b| (b / makespan).min(1.0)).collect()
+        self.sm_busy_cycles().iter().map(|&b| (b / makespan).min(1.0)).collect()
     }
 
     /// Fraction of SMs idle more than half the kernel duration — a scalar
@@ -71,8 +79,7 @@ mod tests {
         SimReport {
             cycles,
             time_ms: cycles / 2.52e6,
-            sm_busy_cycles: busy.clone(),
-            sm_finish_cycles: busy,
+            sm_finish_cycles: busy.clone(),
             tc_utilization: 0.1,
             imad_count: 10.0,
             hmma_count: 5.0,
@@ -80,7 +87,7 @@ mod tests {
             dram_bytes: 0.0,
             l2_hit_rate: None,
             num_tbs: 1,
-            counters: CounterSet::default(),
+            counters: CounterSet { sm_cycles: busy, ..CounterSet::default() },
         }
     }
 

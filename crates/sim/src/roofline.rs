@@ -35,8 +35,8 @@ pub fn ridge_intensity(device: &Device) -> f64 {
 /// trace's total DRAM traffic (using its assumed L2 hit rate for B) and
 /// `flops` useful floating-point operations.
 pub fn kernel_roofline(device: &Device, trace: &KernelTrace, flops: u64) -> RooflinePoint {
-    let b_sectors: f64 = trace.tbs.iter().map(|tb| tb.lsu_b_sectors).sum();
-    let other: f64 = trace.tbs.iter().map(|tb| tb.lsu_a_sectors + tb.epilogue_sectors).sum();
+    let b_sectors: f64 = trace.iter_tbs().map(|tb| tb.lsu_b_sectors).sum();
+    let other: f64 = trace.iter_tbs().map(|tb| tb.lsu_a_sectors + tb.epilogue_sectors).sum();
     let bytes =
         (b_sectors * (1.0 - trace.assumed_l2_hit_rate) + other) * device.sector_bytes as f64;
     let intensity = if bytes > 0.0 { flops as f64 / bytes } else { f64::INFINITY };

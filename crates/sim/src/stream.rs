@@ -1,0 +1,242 @@
+//! Run-length-encoded sector streams.
+//!
+//! L2 simulation replays the dense-operand (B) sector addresses every
+//! thread block touches. Kernels fetch B row-by-row (or tile-by-tile), so
+//! the raw address sequence is overwhelmingly made of short ascending runs
+//! — `base, base+1, …, base+k`. [`SectorStream`] stores exactly that
+//! structure: a vector of `(start, len)` runs instead of one `u64` per
+//! sector, cutting trace memory by roughly the run length (16x for an
+//! `N = 128` B row) while decoding back to the identical address sequence.
+
+/// One maximal run of consecutive sector addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectorRun {
+    /// First sector address of the run.
+    pub start: u64,
+    /// Number of consecutive sectors.
+    pub len: u32,
+}
+
+/// A compressed sequence of 32-byte-sector addresses.
+///
+/// Appending preserves order exactly: [`iter`](SectorStream::iter) yields
+/// the same addresses, in the same order, as the `Vec<u64>` the stream
+/// replaces. Runs are merged greedily — pushing `base..base+k` one address
+/// at a time or as one [`push_run`](SectorStream::push_run) produces the
+/// identical representation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SectorStream {
+    runs: Vec<SectorRun>,
+    len: u64,
+}
+
+impl SectorStream {
+    /// Creates an empty stream.
+    pub const fn new() -> Self {
+        SectorStream { runs: Vec::new(), len: 0 }
+    }
+
+    /// Appends one sector address, extending the last run when consecutive.
+    pub fn push(&mut self, addr: u64) {
+        self.len += 1;
+        if let Some(last) = self.runs.last_mut() {
+            if last.start + last.len as u64 == addr && last.len < u32::MAX {
+                last.len += 1;
+                return;
+            }
+        }
+        self.runs.push(SectorRun { start: addr, len: 1 });
+    }
+
+    /// Appends `count` consecutive sectors starting at `start` — the shape
+    /// lowering code emits for one contiguous B row or tile fetch.
+    pub fn push_run(&mut self, start: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.len += count;
+        // Merge with the previous run when contiguous.
+        let mut start = start;
+        let mut remaining = count;
+        if let Some(last) = self.runs.last_mut() {
+            if last.start + last.len as u64 == start {
+                let room = (u32::MAX - last.len) as u64;
+                let take = remaining.min(room);
+                last.len += take as u32;
+                start += take;
+                remaining -= take;
+            }
+        }
+        while remaining > 0 {
+            let take = remaining.min(u32::MAX as u64);
+            self.runs.push(SectorRun { start, len: take as u32 });
+            start += take;
+            remaining -= take;
+        }
+    }
+
+    /// Number of sector addresses in the stream (decoded length).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the stream holds no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of encoded runs (compressed length).
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The encoded runs.
+    pub fn runs(&self) -> &[SectorRun] {
+        &self.runs
+    }
+
+    /// Heap memory held by the encoded representation, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.runs.capacity() * std::mem::size_of::<SectorRun>()
+    }
+
+    /// Drops the append-path capacity slack (traces call this when a stream
+    /// is frozen into storage, so footprint == encoded runs).
+    pub fn shrink_to_fit(&mut self) {
+        self.runs.shrink_to_fit();
+    }
+
+    /// Iterates the decoded address sequence in order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.runs.iter().flat_map(|r| (0..r.len as u64).map(move |k| r.start + k))
+    }
+
+    /// Decodes the full address sequence (tests and diagnostics).
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+
+    /// A resumable decoding position, for chunked round-robin replay.
+    pub fn cursor(&self) -> SectorCursor<'_> {
+        SectorCursor { stream: self, run: 0, offset: 0 }
+    }
+}
+
+impl FromIterator<u64> for SectorStream {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut s = SectorStream::new();
+        for addr in iter {
+            s.push(addr);
+        }
+        s
+    }
+}
+
+impl From<Vec<u64>> for SectorStream {
+    fn from(addrs: Vec<u64>) -> Self {
+        addrs.into_iter().collect()
+    }
+}
+
+/// A decoding cursor over a [`SectorStream`]: yields addresses in stream
+/// order and remembers its position across calls, so the L2 replay can
+/// interleave fixed-size chunks from many streams.
+#[derive(Debug, Clone)]
+pub struct SectorCursor<'a> {
+    stream: &'a SectorStream,
+    run: usize,
+    offset: u32,
+}
+
+impl Iterator for SectorCursor<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let r = self.stream.runs.get(self.run)?;
+        let addr = r.start + self.offset as u64;
+        self.offset += 1;
+        if self.offset >= r.len {
+            self.run += 1;
+            self.offset = 0;
+        }
+        Some(addr)
+    }
+}
+
+impl SectorCursor<'_> {
+    /// Whether the cursor has yielded every address.
+    pub fn is_done(&self) -> bool {
+        self.run >= self.stream.runs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_pushes_form_one_run() {
+        let mut s = SectorStream::new();
+        for a in 48..64 {
+            s.push(a);
+        }
+        assert_eq!(s.num_runs(), 1);
+        assert_eq!(s.len(), 16);
+        assert_eq!(s.to_vec(), (48..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn push_run_equals_pushed_addresses() {
+        let mut a = SectorStream::new();
+        a.push_run(100, 16);
+        a.push_run(116, 4); // contiguous: merges
+        a.push_run(400, 8);
+        let b: SectorStream = (100..120).chain(400..408).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.num_runs(), 2);
+    }
+
+    #[test]
+    fn gaps_split_runs() {
+        let mut s = SectorStream::new();
+        s.push(1);
+        s.push(2);
+        s.push(10);
+        s.push(9); // descending: new run
+        assert_eq!(s.num_runs(), 3);
+        assert_eq!(s.to_vec(), vec![1, 2, 10, 9]);
+    }
+
+    #[test]
+    fn empty_run_is_a_no_op() {
+        let mut s = SectorStream::new();
+        s.push_run(7, 0);
+        assert!(s.is_empty());
+        assert_eq!(s.num_runs(), 0);
+    }
+
+    #[test]
+    fn cursor_resumes_across_chunks() {
+        let s: SectorStream = (0..10u64).chain(50..55).collect();
+        let mut cur = s.cursor();
+        let first: Vec<u64> = cur.by_ref().take(7).collect();
+        assert_eq!(first, (0..7).collect::<Vec<u64>>());
+        assert!(!cur.is_done());
+        let rest: Vec<u64> = cur.by_ref().collect();
+        assert_eq!(rest, (7..10u64).chain(50..55).collect::<Vec<u64>>());
+        assert!(cur.is_done());
+    }
+
+    #[test]
+    fn memory_is_an_order_of_magnitude_below_raw() {
+        // 1000 B-row fetches of 16 sectors each: 16 000 addresses.
+        let mut s = SectorStream::new();
+        for row in 0..1000u64 {
+            s.push_run(row * 16, 16);
+        }
+        // One merged run: rows are consecutive in this synthetic case.
+        assert_eq!(s.len(), 16_000);
+        let raw = 16_000 * std::mem::size_of::<u64>();
+        assert!(s.memory_bytes() * 10 <= raw, "{} vs {raw}", s.memory_bytes());
+    }
+}

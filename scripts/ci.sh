@@ -9,6 +9,15 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== cargo test (sim compression equivalence)"
+cargo test -q --test sim_compression
+
+echo "== cargo bench --no-run"
+cargo bench --no-run --workspace
+
+echo "== sim_throughput --smoke"
+cargo run --release -q -p dtc-bench --bin sim_throughput -- --smoke
+
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -15,7 +15,7 @@ fn check(name: &str, report: &SimReport, device: &Device) {
     assert!((i.imad - report.imad_count).abs() < 1e-6, "{name}: imad");
     assert_eq!(c.total_blocks(), report.num_tbs, "{name}: blocks");
     assert_eq!(c.sm_cycles.len(), device.num_sms, "{name}: SM vector length");
-    for (sm, (&a, &b)) in c.sm_cycles.iter().zip(&report.sm_busy_cycles).enumerate() {
+    for (sm, (&a, &b)) in c.sm_cycles.iter().zip(report.sm_busy_cycles()).enumerate() {
         assert!((a - b).abs() < 1e-6, "{name}: sm {sm} busy cycles {a} vs {b}");
     }
     // DRAM bytes follow the sector accounting exactly.

@@ -93,7 +93,7 @@ fn hostile_device_configurations() {
     let mut one_sm = Device::rtx4090();
     one_sm.num_sms = 1;
     let r = DtcKernel::new(&a).simulate(16, &one_sm);
-    assert!(r.time_ms.is_finite() && r.sm_busy_cycles.len() == 1);
+    assert!(r.time_ms.is_finite() && r.sm_busy_cycles().len() == 1);
     // Odd SM count: the generalized eq. (1) must stay in range.
     for nsm in [1usize, 2, 3, 7, 41, 82, 127, 128] {
         for blk in 0..500 {

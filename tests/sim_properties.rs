@@ -76,12 +76,12 @@ proptest! {
         prop_assert!(r.time_ms >= 0.0);
         prop_assert!((0.0..=1.0).contains(&r.tc_utilization));
         prop_assert_eq!(r.num_tbs, trace.num_tbs());
-        prop_assert_eq!(r.sm_busy_cycles.len(), device.num_sms);
+        prop_assert_eq!(r.sm_busy_cycles().len(), device.num_sms);
 
         // Doubling every block's work cannot make the kernel faster.
         let mut doubled = KernelTrace::new(trace.occupancy, trace.warps_per_tb);
         doubled.assumed_l2_hit_rate = trace.assumed_l2_hit_rate;
-        for tb in &trace.tbs {
+        for tb in trace.iter_tbs() {
             doubled.push(TbWork {
                 alu_ops: tb.alu_ops * 2.0,
                 lsu_a_sectors: tb.lsu_a_sectors * 2.0,
