@@ -13,6 +13,7 @@ use crate::util::{
 use crate::SpmmKernel;
 use dtc_formats::tf32::round_to_tf32;
 use dtc_formats::{BellMatrix, CsrMatrix, DenseMatrix, FormatError};
+use dtc_sim::occupancy::KernelResources;
 use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// Block-SpMM kernel model over BELL.
@@ -100,6 +101,11 @@ impl SpmmKernel for BlockSpmm {
         let n_f = n as f64;
         let bs = self.bell.block_size() as f64;
         let mut trace = KernelTrace::new(4, 8);
+        trace.set_resources(KernelResources {
+            warps_per_block: 8,
+            registers_per_thread: 48,
+            shared_memory_per_block: 24 * 1024,
+        });
         let b_row_sectors = sectors_per_b_row(n);
         // Dense TC work per stored slot: (bs/16)·(bs/8)·(N/8) m16n8k8.
         let hmma_per_slot = (bs / 16.0) * (bs / 8.0) * (n_f / 8.0);
@@ -123,7 +129,7 @@ impl SpmmKernel for BlockSpmm {
             }
             let lsu_b = stored * bs * b_row_sectors;
             total_b_sectors += lsu_b;
-            trace.push(TbWork {
+            let tb = TbWork {
                 alu_ops: slots_per_row * n_f / 8.0 + 4.0,
                 // A blocks are dense: bs*bs floats per slot — the uniform
                 // ELL loop reads padding slots too ("the necessity to pad
@@ -139,7 +145,9 @@ impl SpmmKernel for BlockSpmm {
                 overlap_a_fetch: true, // cuSPARSE GEMM-grade pipelining
                 b_stream: addrs,
                 ..TbWork::default()
-            });
+            };
+            tb.debug_validate();
+            trace.push(tb);
         }
         trace.assumed_l2_hit_rate =
             estimate_b_hit_rate(self.distinct_cols, total_b_sectors.max(1.0), n, device);

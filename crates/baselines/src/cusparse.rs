@@ -6,6 +6,7 @@ use crate::util::{
 };
 use crate::SpmmKernel;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
+use dtc_sim::occupancy::KernelResources;
 use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// Rows handled by one thread block (row-split).
@@ -60,7 +61,14 @@ impl SpmmKernel for CusparseSpmm {
     }
 
     fn trace(&self, n: usize, device: &Device, record_b_addrs: bool) -> KernelTrace {
-        let mut trace = KernelTrace::new(8, 8);
+        // 8 blocks x 8 warps would claim 64 warp slots against Ada's 48; the
+        // register-file-legal occupancy for this launch shape is 6.
+        let mut trace = KernelTrace::new(6, 8);
+        trace.set_resources(KernelResources {
+            warps_per_block: 8,
+            registers_per_thread: 32,
+            shared_memory_per_block: 2048,
+        });
         let mut total_b_sectors = 0.0;
         // 2-D grid: row strips × N tiles of 32 columns (cuSPARSE splits the
         // dense dimension across thread blocks too).
@@ -94,7 +102,7 @@ impl SpmmKernel for CusparseSpmm {
                 // inefficiency Sputnik's reverse-offset alignment removes.
                 let lsu_b = l * tile_sectors * 1.25;
                 total_b_sectors += lsu_b;
-                trace.push(TbWork {
+                let tb = TbWork {
                     // One warp-FFMA per 32 output elements per non-zero.
                     fp_ops: l * w / 32.0,
                     // Address arithmetic per FMA strip plus row-pointer math.
@@ -109,7 +117,9 @@ impl SpmmKernel for CusparseSpmm {
                     iters: max_row as f64,
                     b_stream: addrs,
                     ..TbWork::default()
-                });
+                };
+                tb.debug_validate();
+                trace.push(tb);
             }
         }
         trace.assumed_l2_hit_rate =

@@ -12,6 +12,7 @@ use crate::util::{check_spmm_dims, distinct_col_count, estimate_b_hit_rate, sect
 use crate::SpmmKernel;
 use dtc_formats::tf32::round_to_tf32;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
+use dtc_sim::occupancy::KernelResources;
 use dtc_sim::{Device, KernelTrace, TbWork};
 
 /// Rows per output tile (one thread block).
@@ -118,6 +119,11 @@ impl SpmmKernel for FlashLlmSpmm {
         let k_f = self.a.cols() as f64;
         // Heavy shared-memory tiling limits occupancy.
         let mut trace = KernelTrace::new(3, 8);
+        trace.set_resources(KernelResources {
+            warps_per_block: 8,
+            registers_per_thread: 64,
+            shared_memory_per_block: 32 * 1024,
+        });
         let b_row_sectors = sectors_per_b_row(n);
         // Dense-compute cost per 128-row tile: (128/16)·(K/8)·(N/8) HMMA.
         let hmma_per_tile = (TILE_M as f64 / 16.0) * (k_f / 8.0) * (n_f / 8.0);
@@ -134,7 +140,7 @@ impl SpmmKernel for FlashLlmSpmm {
             // B is streamed tile-by-tile over the whole K dimension.
             let lsu_b = k_f * b_row_sectors;
             total_b_sectors += lsu_b;
-            trace.push(TbWork {
+            let tb = TbWork {
                 alu_ops: tile_nnz as f64 * 4.0 / 32.0 + k_f / 8.0,
                 lsu_a_sectors: lsu_a,
                 lsu_b_sectors: lsu_b,
@@ -145,7 +151,9 @@ impl SpmmKernel for FlashLlmSpmm {
                 iters: k_f / 8.0,
                 overlap_a_fetch: true, // their double buffering
                 ..TbWork::default()
-            });
+            };
+            tb.debug_validate();
+            trace.push(tb);
         }
         trace.assumed_l2_hit_rate =
             estimate_b_hit_rate(self.distinct_cols, total_b_sectors.max(1.0), n, device);

@@ -15,6 +15,7 @@ use crate::util::{
 };
 use crate::SpmmKernel;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
+use dtc_sim::occupancy::KernelResources;
 use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// Warp-batches of short rows / row-fragments per thread block.
@@ -96,7 +97,14 @@ impl SpmmKernel for HpSpmm {
     }
 
     fn trace(&self, n: usize, device: &Device, record_b_addrs: bool) -> KernelTrace {
-        let mut trace = KernelTrace::new(8, 8);
+        // 8 blocks x 8 warps would claim 64 warp slots against Ada's 48; the
+        // register-file-legal occupancy for this launch shape is 6.
+        let mut trace = KernelTrace::new(6, 8);
+        trace.set_resources(KernelResources {
+            warps_per_block: 8,
+            registers_per_thread: 32,
+            shared_memory_per_block: 4096,
+        });
         let mut total_b_sectors = 0.0;
         let units = self.work_units();
         let tiles = n_tiles(n);
@@ -124,7 +132,7 @@ impl SpmmKernel for HpSpmm {
                 }
                 let lsu_b = l * tile_sectors;
                 total_b_sectors += lsu_b;
-                trace.push(TbWork {
+                let tb = TbWork {
                     fp_ops: l * w / 32.0,
                     // Hybrid dispatch costs a little more index math than
                     // Sputnik's fully aligned tiles, less than row-split.
@@ -140,7 +148,9 @@ impl SpmmKernel for HpSpmm {
                     iters: max_unit as f64 / 4.0,
                     b_stream: addrs,
                     ..TbWork::default()
-                });
+                };
+                tb.debug_validate();
+                trace.push(tb);
             }
         }
         trace.assumed_l2_hit_rate =

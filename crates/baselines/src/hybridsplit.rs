@@ -15,6 +15,7 @@ use crate::util::{
 use crate::SpmmKernel;
 use dtc_formats::tf32::round_to_tf32;
 use dtc_formats::{Condensed, CsrMatrix, DenseMatrix, FormatError};
+use dtc_sim::occupancy::KernelResources;
 use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// Hybrid dense/sparse split SpMM.
@@ -131,6 +132,11 @@ impl SpmmKernel for HybridSplitSpmm {
     fn trace(&self, n: usize, device: &Device, record_b_addrs: bool) -> KernelTrace {
         let n_f = n as f64;
         let mut trace = KernelTrace::new(6, 8);
+        trace.set_resources(KernelResources {
+            warps_per_block: 8,
+            registers_per_thread: 40,
+            shared_memory_per_block: 12 * 1024,
+        });
         let b_row_sectors = sectors_per_b_row(n);
         let mut total_b_sectors = 0.0;
 
@@ -151,7 +157,7 @@ impl SpmmKernel for HybridSplitSpmm {
             }
             let lsu_b: f64 = w.blocks().map(|b| b.cols.len() as f64 * b_row_sectors).sum();
             total_b_sectors += lsu_b;
-            trace.push(TbWork {
+            let tb = TbWork {
                 alu_ops: nblk * n_f / 4.0,
                 lsu_a_sectors: w.nnz() as f64 * 6.0 / 32.0,
                 lsu_b_sectors: lsu_b,
@@ -163,7 +169,9 @@ impl SpmmKernel for HybridSplitSpmm {
                 overlap_a_fetch: true,
                 b_stream: addrs,
                 ..TbWork::default()
-            });
+            };
+            tb.debug_validate();
+            trace.push(tb);
         }
         // Sparse residue: cuSPARSE-style row strips x N tiles.
         let tiles = n_tiles(n);
@@ -178,7 +186,7 @@ impl SpmmKernel for HybridSplitSpmm {
                 }
                 let lsu_b = l * tile_sectors;
                 total_b_sectors += lsu_b;
-                trace.push(TbWork {
+                let tb = TbWork {
                     fp_ops: l * w_cols / 32.0,
                     alu_ops: l * w_cols / 64.0,
                     lsu_a_sectors: l / 4.0,
@@ -186,7 +194,9 @@ impl SpmmKernel for HybridSplitSpmm {
                     epilogue_sectors: (end - start) as f64 * tile_sectors,
                     iters: l / 8.0,
                     ..TbWork::default()
-                });
+                };
+                tb.debug_validate();
+                trace.push(tb);
             }
         }
         trace.assumed_l2_hit_rate =

@@ -11,6 +11,7 @@ use crate::util::{
 };
 use crate::SpmmKernel;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
+use dtc_sim::occupancy::KernelResources;
 use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// Widest ELL bucket; longer rows fall into the CSR residual.
@@ -98,7 +99,14 @@ impl SpmmKernel for SparseTirSpmm {
     }
 
     fn trace(&self, n: usize, device: &Device, record_b_addrs: bool) -> KernelTrace {
-        let mut trace = KernelTrace::new(8, 8);
+        // 8 blocks x 8 warps would claim 64 warp slots against Ada's 48; the
+        // register-file-legal occupancy for this launch shape is 6.
+        let mut trace = KernelTrace::new(6, 8);
+        trace.set_resources(KernelResources {
+            warps_per_block: 8,
+            registers_per_thread: 32,
+            shared_memory_per_block: 2048,
+        });
         let mut total_b_sectors = 0.0;
         let tiles = n_tiles(n);
 
@@ -131,7 +139,7 @@ impl SpmmKernel for SparseTirSpmm {
                     let padded = chunk.len() as f64 * width;
                     let lsu_b = real_nnz as f64 * tile_sectors;
                     total_b_sectors += lsu_b;
-                    trace.push(TbWork {
+                    let tb = TbWork {
                         fp_ops: padded * w / 32.0,
                         alu_ops: padded * w / 256.0 + 2.0,
                         lsu_a_sectors: padded / 4.0,
@@ -140,7 +148,9 @@ impl SpmmKernel for SparseTirSpmm {
                         iters: width,
                         b_stream: addrs,
                         ..TbWork::default()
-                    });
+                    };
+                    tb.debug_validate();
+                    trace.push(tb);
                 }
             }
             // CSR residual: row-split like cuSPARSE, one TB per 4 long rows.
@@ -166,7 +176,7 @@ impl SpmmKernel for SparseTirSpmm {
                 }
                 let lsu_b = l * tile_sectors;
                 total_b_sectors += lsu_b;
-                trace.push(TbWork {
+                let tb = TbWork {
                     fp_ops: l * w / 32.0,
                     alu_ops: l * w / 96.0 + l / 8.0,
                     lsu_a_sectors: l / 4.0,
@@ -175,7 +185,9 @@ impl SpmmKernel for SparseTirSpmm {
                     iters: max_row as f64 / 4.0,
                     b_stream: addrs,
                     ..TbWork::default()
-                });
+                };
+                tb.debug_validate();
+                trace.push(tb);
             }
         }
 

@@ -12,6 +12,7 @@ use crate::util::{check_spmm_dims, distinct_col_count, estimate_b_hit_rate, sect
 use crate::SpmmKernel;
 use dtc_formats::tf32::round_to_tf32;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
+use dtc_sim::occupancy::KernelResources;
 use dtc_sim::{Device, KernelTrace, TbWork};
 
 /// SparTA's documented shape limit.
@@ -133,6 +134,11 @@ impl SpmmKernel for SpartaSpmm {
     fn trace(&self, n: usize, device: &Device, _record_b_addrs: bool) -> KernelTrace {
         let n_f = n as f64;
         let mut trace = KernelTrace::new(6, 8);
+        trace.set_resources(KernelResources {
+            warps_per_block: 8,
+            registers_per_thread: 40,
+            shared_memory_per_block: 16 * 1024,
+        });
         let b_row_sectors = sectors_per_b_row(n);
         let mut total_b_sectors = 0.0;
 
@@ -146,7 +152,7 @@ impl SpmmKernel for SpartaSpmm {
             let hmma = t * (n_f / 8.0) * 0.5 * 2.0; // k=16 -> two k8 halves
             let lsu_b = t * 16.0 * b_row_sectors;
             total_b_sectors += lsu_b;
-            trace.push(TbWork {
+            let tb = TbWork {
                 alu_ops: t * n_f / 16.0,
                 lsu_a_sectors: t * (16.0 * 8.0 * 4.0 + 64.0) / 32.0, // values + metadata
                 lsu_b_sectors: lsu_b,
@@ -157,7 +163,9 @@ impl SpmmKernel for SpartaSpmm {
                 iters: t,
                 overlap_a_fetch: true,
                 ..TbWork::default()
-            });
+            };
+            tb.debug_validate();
+            trace.push(tb);
         }
         // Remainder: cuSPARSE-like row-split CUDA-core pass.
         for start in (0..self.remainder.rows()).step_by(32) {
@@ -168,7 +176,7 @@ impl SpmmKernel for SpartaSpmm {
             }
             let lsu_b = l * b_row_sectors;
             total_b_sectors += lsu_b;
-            trace.push(TbWork {
+            let tb = TbWork {
                 fp_ops: l * n_f / 32.0,
                 alu_ops: l * n_f / 64.0,
                 lsu_a_sectors: l / 4.0,
@@ -176,7 +184,9 @@ impl SpmmKernel for SpartaSpmm {
                 epilogue_sectors: (end - start) as f64 * b_row_sectors,
                 iters: l / 8.0,
                 ..TbWork::default()
-            });
+            };
+            tb.debug_validate();
+            trace.push(tb);
         }
         trace.assumed_l2_hit_rate =
             estimate_b_hit_rate(self.distinct_cols, total_b_sectors.max(1.0), n, device);

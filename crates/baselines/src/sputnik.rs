@@ -7,6 +7,7 @@ use crate::util::{
 };
 use crate::SpmmKernel;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError};
+use dtc_sim::occupancy::KernelResources;
 use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// Non-zeros per 1-D tile (one tile = one thread block's work unit).
@@ -80,7 +81,14 @@ impl SpmmKernel for SputnikSpmm {
     }
 
     fn trace(&self, n: usize, device: &Device, record_b_addrs: bool) -> KernelTrace {
-        let mut trace = KernelTrace::new(8, 8);
+        // 8 blocks x 8 warps would claim 64 warp slots against Ada's 48; the
+        // register-file-legal occupancy for this launch shape is 6.
+        let mut trace = KernelTrace::new(6, 8);
+        trace.set_resources(KernelResources {
+            warps_per_block: 8,
+            registers_per_thread: 32,
+            shared_memory_per_block: 4096,
+        });
         let mut total_b_sectors = 0.0;
 
         // 2-D tiling: 1-D non-zero tiles × N tiles of 32 columns. Within a
@@ -105,7 +113,7 @@ impl SpmmKernel for SputnikSpmm {
                 let l = *tile_nnz as f64;
                 let lsu_b = l * tile_sectors;
                 *total_b += lsu_b;
-                trace.push(TbWork {
+                let tb = TbWork {
                     fp_ops: l * w / 32.0,
                     // Reverse-offset alignment halves the per-FMA index math.
                     alu_ops: l * w / 128.0 + l / 16.0 + 2.0,
@@ -117,7 +125,9 @@ impl SpmmKernel for SputnikSpmm {
                     iters: l / 8.0,
                     b_stream: std::mem::take(addrs),
                     ..TbWork::default()
-                });
+                };
+                tb.debug_validate();
+                trace.push(tb);
                 *tile_nnz = 0;
                 *tile_rows = 0;
             };

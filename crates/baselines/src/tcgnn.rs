@@ -19,6 +19,7 @@ use crate::util::{
 use crate::SpmmKernel;
 use dtc_formats::tf32::round_to_tf32;
 use dtc_formats::{Condensed, CsrMatrix, DenseMatrix, FormatError, TcfMatrix};
+use dtc_sim::occupancy::KernelResources;
 use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// IMADs per scanned edge in the per-block window re-scan (per thread,
@@ -112,6 +113,7 @@ impl SpmmKernel for TcgnnSpmm {
         let n_f = n as f64;
         // Shared-memory staging limits TCGNN's occupancy.
         let mut trace = KernelTrace::new(4, 8);
+        trace.set_resources(KernelResources::tcgnn_spmm());
         let b_row_sectors = sectors_per_b_row(n);
         let mut total_b_sectors = 0.0;
 
@@ -147,7 +149,7 @@ impl SpmmKernel for TcgnnSpmm {
                 }
             }
             total_b_sectors += lsu_b;
-            trace.push(TbWork {
+            let tb = TbWork {
                 alu_ops: alu,
                 lsu_a_sectors: nnz_w * 12.0 / 32.0, // 3 int32 arrays per nnz
                 lsu_b_sectors: lsu_b,
@@ -159,7 +161,9 @@ impl SpmmKernel for TcgnnSpmm {
                 overlap_a_fetch: false, // (3) no double buffering
                 b_stream: addrs,
                 ..TbWork::default()
-            });
+            };
+            tb.debug_validate();
+            trace.push(tb);
         }
         trace.assumed_l2_hit_rate =
             estimate_b_hit_rate(self.distinct_cols, total_b_sectors, n, device);

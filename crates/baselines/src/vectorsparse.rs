@@ -12,6 +12,7 @@ use crate::util::{
 use crate::SpmmKernel;
 use dtc_formats::tf32::round_to_tf32;
 use dtc_formats::{CsrMatrix, CvseMatrix, DenseMatrix, FormatError};
+use dtc_sim::occupancy::KernelResources;
 use dtc_sim::{Device, KernelTrace, SectorStream, TbWork};
 
 /// Row groups per thread block.
@@ -94,6 +95,11 @@ impl SpmmKernel for VectorSparseSpmm {
         let n_f = n as f64;
         let vlen = self.cvse.vector_len() as f64;
         let mut trace = KernelTrace::new(6, 8);
+        trace.set_resources(KernelResources {
+            warps_per_block: 8,
+            registers_per_thread: 40,
+            shared_memory_per_block: 12 * 1024,
+        });
         let b_row_sectors = sectors_per_b_row(n);
         // Each 8-vector tile of one group feeds an MMA covering vlen rows x
         // 8 columns; tiles of 16/vlen groups pack into full 16-row MMAs at
@@ -117,7 +123,7 @@ impl SpmmKernel for VectorSparseSpmm {
             let hmma = slots * (vlen / 16.0) * (n_f / 8.0) / 0.9;
             let lsu_b = vectors * b_row_sectors;
             total_b_sectors += lsu_b;
-            trace.push(TbWork {
+            let tb = TbWork {
                 alu_ops: vectors * 2.0 / 32.0 + slots * n_f / 16.0,
                 lsu_a_sectors: vectors * (vlen * 4.0 + 4.0) / 32.0,
                 lsu_b_sectors: lsu_b,
@@ -129,7 +135,9 @@ impl SpmmKernel for VectorSparseSpmm {
                 overlap_a_fetch: true,
                 b_stream: addrs,
                 ..TbWork::default()
-            });
+            };
+            tb.debug_validate();
+            trace.push(tb);
         }
         trace.assumed_l2_hit_rate =
             estimate_b_hit_rate(self.distinct_cols, total_b_sectors.max(1.0), n, device);

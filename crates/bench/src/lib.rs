@@ -5,6 +5,7 @@
 //! table rendering, the scaled baseline limits, and the standard kernel
 //! lineup runner.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use dtc_baselines::SpmmKernel;

@@ -9,6 +9,7 @@ use dtc_baselines::util::{
 };
 use dtc_baselines::SpmmKernel;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError, MeTcfMatrix, Precision};
+use dtc_sim::occupancy::KernelResources;
 use dtc_sim::{Device, KernelTrace, TbWork};
 
 /// TC blocks assigned to each thread block ("32 in our implementation").
@@ -113,6 +114,7 @@ impl SpmmKernel for BalancedDtcKernel {
         let n_f = n as f64;
         let opts = self.inner.opts();
         let mut trace = KernelTrace::new(DTC_OCCUPANCY, DTC_WARPS);
+        trace.set_resources(KernelResources::dtc_spmm());
         let b_row_sectors = sectors_per_b_row(n);
         let mut total_b_sectors = 0.0;
 
@@ -180,6 +182,7 @@ impl SpmmKernel for BalancedDtcKernel {
             tb
         });
         for tb in tbs {
+            tb.debug_validate();
             total_b_sectors += tb.lsu_b_sectors;
             trace.push(tb);
         }

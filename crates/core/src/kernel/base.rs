@@ -7,6 +7,7 @@ use dtc_baselines::util::{
 };
 use dtc_baselines::SpmmKernel;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError, MeTcfMatrix, Precision};
+use dtc_sim::occupancy::KernelResources;
 use dtc_sim::{Device, KernelTrace, TbWork};
 
 /// The occupancy the paper measures for this kernel on RTX4090 (§4.5.2).
@@ -172,6 +173,7 @@ impl SpmmKernel for DtcKernel {
     fn trace(&self, n: usize, device: &Device, record_b_addrs: bool) -> KernelTrace {
         let n_f = n as f64;
         let mut trace = KernelTrace::new(DTC_OCCUPANCY, DTC_WARPS);
+        trace.set_resources(KernelResources::dtc_spmm());
         let b_row_sectors = sectors_per_b_row(n);
         // One TbWork per row window, built in parallel; windows are
         // independent and the reduction below walks them in window order, so
@@ -204,6 +206,7 @@ impl SpmmKernel for DtcKernel {
         });
         let mut total_b_sectors = 0.0;
         for tb in tbs {
+            tb.debug_validate();
             total_b_sectors += tb.lsu_b_sectors;
             trace.push(tb);
         }

@@ -30,6 +30,7 @@
 //! assert!(device.l2_bytes < Device::rtx4090().l2_bytes);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod igb;

@@ -24,6 +24,7 @@
 //! assert!(report.losses.first().unwrap() > report.losses.last().unwrap());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod backend;

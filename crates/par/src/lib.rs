@@ -22,6 +22,7 @@
 //! `std::thread::available_parallelism()`. `threads == 1` runs the exact
 //! serial loop on the calling thread — no spawn, no overhead.
 
+#![forbid(unsafe_code)]
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// `0` means "no override"; anything else wins over `DTC_THREADS`.

@@ -24,6 +24,7 @@
 //! assert!(after >= before);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod degree;

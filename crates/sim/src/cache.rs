@@ -131,7 +131,11 @@ pub fn l2_counts_over_trace(device: &Device, trace: &KernelTrace, threads: usize
         return (0, 0);
     }
     let (num_sets, ways) = l2_geometry(device);
-    let wave = (device.num_sms * trace.occupancy.max(1)).max(1);
+    debug_assert!(
+        trace.occupancy > 0,
+        "occupancy must be positive (legal occupancy is fixed at trace construction)"
+    );
+    let wave = (device.num_sms * trace.occupancy).max(1);
     let shards = threads.max(1).min(num_sets);
     let per_shard: Vec<(u64, u64)> = dtc_par::par_map_collect_with(shards, shards, |shard| {
         replay_shard(trace, wave, num_sets, ways, shard, shards)
@@ -159,7 +163,11 @@ pub fn l2_shard_counts(
         return (0, 0);
     }
     let (num_sets, ways) = l2_geometry(device);
-    let wave = (device.num_sms * trace.occupancy.max(1)).max(1);
+    debug_assert!(
+        trace.occupancy > 0,
+        "occupancy must be positive (legal occupancy is fixed at trace construction)"
+    );
+    let wave = (device.num_sms * trace.occupancy).max(1);
     replay_shard(trace, wave, num_sets, ways, shard, num_shards)
 }
 

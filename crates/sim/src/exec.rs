@@ -24,7 +24,11 @@ pub fn tb_duration_event_driven(
     tb: &TbWork,
     l2_hit_rate: f64,
 ) -> f64 {
-    let occ = occupancy.max(1) as f64;
+    debug_assert!(
+        occupancy > 0,
+        "occupancy must be positive (legal occupancy is fixed at trace construction)"
+    );
+    let occ = occupancy as f64;
     let issue_cap = ((occ * warps_per_tb.max(1) as f64) / 16.0).min(1.0);
     let share = |throughput: f64| -> f64 { throughput / occ * issue_cap };
 

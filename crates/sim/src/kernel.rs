@@ -10,6 +10,7 @@
 //! the per-block launch order — which scheduling and cache replay depend
 //! on — is fully preserved.
 
+use crate::occupancy::KernelResources;
 use crate::stream::SectorStream;
 use std::collections::HashMap;
 
@@ -56,6 +57,44 @@ pub struct TbWork {
     pub b_stream: SectorStream,
 }
 
+impl TbWork {
+    /// The twelve numeric work fields, in the fixed hashing order. Shared
+    /// by the interning key and external analyzers (`dtc-verify`) so both
+    /// agree on what "the work" of a block is.
+    pub fn numeric_fields(&self) -> [(&'static str, f64); 12] {
+        [
+            ("alu_ops", self.alu_ops),
+            ("fp_ops", self.fp_ops),
+            ("lsu_a_sectors", self.lsu_a_sectors),
+            ("lsu_b_sectors", self.lsu_b_sectors),
+            ("smem_ops", self.smem_ops),
+            ("hmma_ops", self.hmma_ops),
+            ("hmma_count", self.hmma_count),
+            ("imad_count", self.imad_count),
+            ("shfl_ops", self.shfl_ops),
+            ("epilogue_sectors", self.epilogue_sectors),
+            ("atom_ops", self.atom_ops),
+            ("iters", self.iters),
+        ]
+    }
+
+    /// Debug-build sanity check for lowering sites: every work field must
+    /// be finite and non-negative at the moment the block is frozen into a
+    /// trace. Compiled out in release builds; the full (release-mode)
+    /// enforcement lives in `dtc-verify`'s `nonfinite-count` lint.
+    #[inline]
+    pub fn debug_validate(&self) {
+        if cfg!(debug_assertions) {
+            for (name, v) in self.numeric_fields() {
+                debug_assert!(
+                    v.is_finite() && v >= 0.0,
+                    "TbWork::{name} = {v} must be finite and non-negative"
+                );
+            }
+        }
+    }
+}
+
 /// FNV-1a over the duration-determining fields of a [`TbWork`] — every
 /// field except the sector stream, compared bit-for-bit (`f64::to_bits`)
 /// so interning never conflates values that would time differently.
@@ -78,20 +117,7 @@ fn work_key(tb: &TbWork) -> u64 {
 
 /// The twelve numeric work fields, in a fixed order, for hashing/equality.
 fn work_fields(tb: &TbWork) -> [f64; 12] {
-    [
-        tb.alu_ops,
-        tb.fp_ops,
-        tb.lsu_a_sectors,
-        tb.lsu_b_sectors,
-        tb.smem_ops,
-        tb.hmma_ops,
-        tb.hmma_count,
-        tb.imad_count,
-        tb.shfl_ops,
-        tb.epilogue_sectors,
-        tb.atom_ops,
-        tb.iters,
-    ]
+    tb.numeric_fields().map(|(_, v)| v)
 }
 
 /// Bitwise equality of the duration-determining fields.
@@ -124,11 +150,25 @@ pub struct KernelTrace {
     pub warps_per_tb: usize,
     /// L2 hit rate assumed for B traffic when the cache is not simulated.
     pub assumed_l2_hit_rate: f64,
+    /// Per-block resource usage of the kernel this trace was lowered from
+    /// (registers, shared memory, warps). Optional: lowering sites attach
+    /// it so `dtc-verify` can re-derive the legal occupancy (paper eq. 6)
+    /// and check the trace's `occupancy` against it.
+    resources: Option<KernelResources>,
 }
 
 impl KernelTrace {
     /// Creates an empty trace with the given occupancy and warp count.
+    ///
+    /// Both must be positive: an occupancy of 0 means the kernel cannot
+    /// launch at all, and downstream timing (which divides per-SM capacity
+    /// by the resident-block count) no longer silently clamps it to 1.
     pub fn new(occupancy: usize, warps_per_tb: usize) -> Self {
+        assert!(
+            occupancy > 0,
+            "kernel occupancy must be positive (a 0 means the block cannot fit on an SM)"
+        );
+        assert!(warps_per_tb > 0, "warps_per_tb must be positive");
         KernelTrace {
             classes: Vec::new(),
             class_ids: Vec::new(),
@@ -138,7 +178,23 @@ impl KernelTrace {
             occupancy,
             warps_per_tb,
             assumed_l2_hit_rate: 0.5,
+            resources: None,
         }
+    }
+
+    /// Attaches the per-block resource usage this trace was lowered from.
+    pub fn set_resources(&mut self, resources: KernelResources) {
+        self.resources = Some(resources);
+    }
+
+    /// The per-block resource usage, when the lowering site attached it.
+    pub fn resources(&self) -> Option<&KernelResources> {
+        self.resources.as_ref()
+    }
+
+    /// Whether class interning is enabled for this trace.
+    pub fn interning(&self) -> bool {
+        self.interning
     }
 
     /// Enables or disables class interning for subsequent [`push`]es.

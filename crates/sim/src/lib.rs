@@ -35,6 +35,7 @@
 //! assert!(report.tc_utilization > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -117,9 +118,11 @@ pub fn simulate(device: &Device, trace: &KernelTrace, options: &SimOptions) -> S
     let effective_hit = l2_hit_rate.unwrap_or(trace.assumed_l2_hit_rate);
 
     // Effective occupancy: a launch with fewer blocks than SM slots leaves
-    // each resident block a larger share of its SM.
-    let eff_occ =
-        trace.occupancy.max(1).min(trace.num_tbs().div_ceil(device.num_sms.max(1)).max(1));
+    // each resident block a larger share of its SM. The trace's occupancy
+    // is legal by construction (asserted positive at `KernelTrace::new`;
+    // `dtc-verify` lints a zero as a hard violation) — no silent clamping.
+    debug_assert!(trace.occupancy > 0, "trace occupancy must be positive");
+    let eff_occ = trace.occupancy.min(trace.num_tbs().div_ceil(device.num_sms.max(1)).max(1));
 
     // Per-class timing, fanned out over host threads. Each class's timing is
     // a pure function of its own work fields, and `par_map_collect` returns

@@ -8,6 +8,8 @@
 //! block limits — so kernel configurations can derive their occupancy
 //! instead of hard-coding it.
 
+use crate::Device;
+
 /// Per-SM resource limits (Ampere/Ada values).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SmResources {
@@ -47,6 +49,18 @@ impl SmResources {
             max_blocks: 16,
             register_granularity: 256,
             smem_granularity: 128,
+        }
+    }
+
+    /// The per-SM limits matching a [`Device`] preset: the RTX3090 model
+    /// gets the Ampere limits, everything else the Ada limits (the paper's
+    /// primary GPU). Static analysis uses this to pair a cost-model device
+    /// with the occupancy rules of eq. 6.
+    pub fn for_device(device: &Device) -> Self {
+        if device.name.contains("3090") {
+            SmResources::ampere()
+        } else {
+            SmResources::ada()
         }
     }
 }

@@ -41,7 +41,11 @@ pub fn tb_duration_cycles_with_occ(
 /// (`duration = pipe + stall`, the exact association of the combined
 /// formula), so both values fall out of one pass.
 pub fn tb_pipe_cycles(device: &Device, occupancy: usize, warps_per_tb: usize, tb: &TbWork) -> f64 {
-    let occ = occupancy.max(1) as f64;
+    debug_assert!(
+        occupancy > 0,
+        "occupancy must be positive (legal occupancy is fixed at trace construction)"
+    );
+    let occ = occupancy as f64;
     // Issue capability: an SM needs ~16 resident warps to saturate its
     // pipes; a lone thread block of `warps_per_tb` warps cannot. The cap
     // inflates per-TB pipe times when residency is that low.
@@ -77,7 +81,11 @@ pub fn tb_stall_cycles(
     tb: &TbWork,
     l2_hit_rate: f64,
 ) -> f64 {
-    let occ = occupancy.max(1) as f64;
+    debug_assert!(
+        occupancy > 0,
+        "occupancy must be positive (legal occupancy is fixed at trace construction)"
+    );
+    let occ = occupancy as f64;
     let hide = (occ * warps_per_tb.max(1) as f64 / 2.0).max(1.0);
     let eff_latency = device.mem_latency_cycles * (1.0 - l2_hit_rate)
         + device.mem_latency_cycles / 8.0 * l2_hit_rate;

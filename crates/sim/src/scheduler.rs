@@ -53,7 +53,11 @@ pub fn schedule(device: &Device, occupancy: usize, durations: &[f64]) -> Schedul
     let to_key = |t: f64| -> u64 { (t * 1024.0) as u64 };
     let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
 
-    let wave = num_sms * occupancy.max(1);
+    debug_assert!(
+        occupancy > 0,
+        "occupancy must be positive (legal occupancy is fixed at trace construction)"
+    );
+    let wave = num_sms * occupancy;
     let mut next_block = 0usize;
     // Initial wave: policy placement.
     while next_block < durations.len() && next_block < wave {

@@ -36,6 +36,17 @@ impl SectorStream {
         SectorStream { runs: Vec::new(), len: 0 }
     }
 
+    /// Builds a stream directly from encoded runs, *without* the greedy
+    /// canonicalization of [`push_run`](SectorStream::push_run). The append
+    /// path can only ever produce canonical encodings (no zero-length runs,
+    /// no mergeable neighbours), so this is the one way to construct a
+    /// non-canonical stream — used by `dtc-verify`'s mutation tests to
+    /// prove the structural lints actually fire.
+    pub fn from_runs(runs: Vec<SectorRun>) -> Self {
+        let len = runs.iter().map(|r| r.len as u64).sum();
+        SectorStream { runs, len }
+    }
+
     /// Appends one sector address, extending the last run when consecutive.
     pub fn push(&mut self, addr: u64) {
         self.len += 1;

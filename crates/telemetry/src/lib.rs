@@ -36,6 +36,7 @@
 //! assert!(snap.spans.iter().any(|s| s.path == "build/convert"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::cell::RefCell;

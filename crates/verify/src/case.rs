@@ -1,0 +1,80 @@
+//! The unit of analysis: one lowered trace plus the context needed to
+//! judge it.
+
+use dtc_sim::{Device, KernelTrace};
+
+/// The SpMM problem instance a trace claims to solve. Conservation lints
+/// need it to compute compulsory work and traffic; structural lints can
+/// run without it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProblemSpec {
+    /// Rows of the sparse operand A.
+    pub rows: usize,
+    /// Columns of A (= rows of the dense operand B).
+    pub cols: usize,
+    /// Non-zeros of A.
+    pub nnz: usize,
+    /// Columns of B (the paper's N).
+    pub n: usize,
+    /// Distinct columns of A — the number of B rows any kernel must fetch
+    /// at least once.
+    pub b_rows_touched: usize,
+}
+
+impl ProblemSpec {
+    /// Compulsory useful work: one multiply-accumulate per non-zero per
+    /// output column.
+    pub fn compulsory_macs(&self) -> f64 {
+        self.nnz as f64 * self.n as f64
+    }
+
+    /// Compulsory sparse-operand bytes: each stored value is at least one
+    /// 4-byte scalar that must be read once.
+    pub fn compulsory_a_bytes(&self) -> f64 {
+        self.nnz as f64 * 4.0
+    }
+
+    /// Compulsory dense-operand bytes: every touched B row must be read
+    /// across the full N width at 4 bytes per scalar.
+    pub fn compulsory_b_bytes(&self) -> f64 {
+        self.b_rows_touched as f64 * self.n as f64 * 4.0
+    }
+}
+
+/// One trace under analysis: the kernel it came from, the device cost
+/// model it targets, and optional context that unlocks deeper lints.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceCase<'a> {
+    /// Kernel name (for report labeling only).
+    pub kernel: &'a str,
+    /// The device cost model the trace targets.
+    pub device: &'a Device,
+    /// The lowered trace.
+    pub trace: &'a KernelTrace,
+    /// The problem instance, when known — enables conservation lints.
+    pub problem: Option<ProblemSpec>,
+    /// Whether sparse double buffering (§4.4.2) was enabled at lowering:
+    /// `Some(false)` makes any `overlap_a_fetch` block illegal. `None`
+    /// (unknown) skips the gating lint.
+    pub sdb_enabled: Option<bool>,
+}
+
+impl<'a> TraceCase<'a> {
+    /// A case with no problem context (structural + resource + coverage
+    /// lints only).
+    pub fn new(kernel: &'a str, device: &'a Device, trace: &'a KernelTrace) -> Self {
+        TraceCase { kernel, device, trace, problem: None, sdb_enabled: None }
+    }
+
+    /// Attaches the problem instance, unlocking conservation lints.
+    pub fn with_problem(mut self, problem: ProblemSpec) -> Self {
+        self.problem = Some(problem);
+        self
+    }
+
+    /// Declares whether sparse double buffering was enabled at lowering.
+    pub fn with_sdb(mut self, enabled: bool) -> Self {
+        self.sdb_enabled = Some(enabled);
+        self
+    }
+}

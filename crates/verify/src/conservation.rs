@@ -1,0 +1,110 @@
+//! Conservation laws: a trace that claims to solve `C = A x B` must carry
+//! at least the compulsory work and traffic of the problem instance —
+//! enough multiply-accumulate capacity for `nnz x N`, enough sparse-operand
+//! bytes to have read A once, and enough dense-operand bytes to have read
+//! every touched B row once. A lowering site that undercuts any of these
+//! bounds is advertising impossible performance.
+
+use crate::case::TraceCase;
+use crate::diag::{Diagnostic, LintId, Location};
+use crate::structural::capped;
+
+/// MACs one `m16n8k8`-equivalent HMMA can retire (16 x 8 x 8).
+const MACS_PER_HMMA_OP: f64 = 1024.0;
+/// MACs of the smallest counted HMMA shape, `m16n8k4` (16 x 8 x 4).
+/// `hmma_count` is precision-invariant, so this basis stays valid when
+/// FP16/BF16 halve `hmma_ops`.
+const MACS_PER_HMMA_COUNT: f64 = 512.0;
+/// MACs one warp-level FFMA retires (32 lanes).
+const MACS_PER_FFMA: f64 = 32.0;
+/// Relative slack shielding the exactly-tight lowerings (DTC's dense TC
+/// blocks, cuSPARSE's per-element FFMA) from f64 accumulation noise.
+const SLACK: f64 = 1.0 - 1e-9;
+
+/// Runs the conservation lints; returns the number of lint passes executed.
+pub(crate) fn run(case: &TraceCase, diags: &mut Vec<Diagnostic>) -> usize {
+    let trace = case.trace;
+    let mut passes = 0;
+
+    // cp-async-gating needs only the lowering flag, not the problem.
+    if let Some(sdb) = case.sdb_enabled {
+        passes += 1;
+        if !sdb {
+            let mut found = 0;
+            for (c, tb) in trace.classes().iter().enumerate() {
+                if tb.overlap_a_fetch {
+                    found = capped(
+                        diags,
+                        found,
+                        Diagnostic::new(
+                            LintId::CpAsyncGating,
+                            Location::class(c),
+                            "overlap_a_fetch (cp.async double buffering) claimed but SDB is disabled"
+                                .into(),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    let Some(problem) = case.problem else {
+        return passes;
+    };
+    let mults = trace.class_multiplicities();
+
+    // macs-insufficient: per-class MAC capacity summed over multiplicity.
+    // Each class's TC capacity is the larger of its two HMMA bases (the
+    // time basis `hmma_ops` and the precision-invariant `hmma_count`).
+    passes += 1;
+    let mut macs = 0.0f64;
+    for (tb, &mult) in trace.classes().iter().zip(&mults) {
+        let tc = (tb.hmma_ops * MACS_PER_HMMA_OP).max(tb.hmma_count * MACS_PER_HMMA_COUNT);
+        macs += (tc + tb.fp_ops * MACS_PER_FFMA) * mult as f64;
+    }
+    let need = problem.compulsory_macs();
+    if macs < need * SLACK {
+        diags.push(Diagnostic::new(
+            LintId::MacsInsufficient,
+            Location::TRACE,
+            format!(
+                "MAC capacity {macs:.0} below the compulsory nnz x N = {need:.0} ({} nnz x {} cols)",
+                problem.nnz, problem.n
+            ),
+        ));
+    }
+
+    // a-traffic-compulsory: sparse-operand sectors vs the A footprint.
+    passes += 1;
+    let a_bytes: f64 =
+        trace.classes().iter().zip(&mults).map(|(tb, &m)| tb.lsu_a_sectors * 32.0 * m as f64).sum();
+    let a_need = problem.compulsory_a_bytes();
+    if a_bytes < a_need * SLACK {
+        diags.push(Diagnostic::new(
+            LintId::ATrafficCompulsory,
+            Location::TRACE,
+            format!(
+                "A traffic {a_bytes:.0} B below the compulsory footprint {a_need:.0} B ({} nnz x 4 B)",
+                problem.nnz
+            ),
+        ));
+    }
+
+    // b-traffic-compulsory: dense-operand sectors vs the touched B rows.
+    passes += 1;
+    let b_bytes: f64 =
+        trace.classes().iter().zip(&mults).map(|(tb, &m)| tb.lsu_b_sectors * 32.0 * m as f64).sum();
+    let b_need = problem.compulsory_b_bytes();
+    if b_bytes < b_need * SLACK {
+        diags.push(Diagnostic::new(
+            LintId::BTrafficCompulsory,
+            Location::TRACE,
+            format!(
+                "B traffic {b_bytes:.0} B below the compulsory footprint {b_need:.0} B ({} touched rows x {} cols x 4 B)",
+                problem.b_rows_touched, problem.n
+            ),
+        ));
+    }
+
+    passes
+}

@@ -1,0 +1,147 @@
+//! Cost-table coverage: every instruction class a lowering site can emit
+//! must have a sane, nonzero cost entry in the device model — otherwise
+//! the simulator silently prices that work at zero (or infinity) and every
+//! downstream comparison is corrupt.
+
+use crate::case::TraceCase;
+use crate::diag::{Diagnostic, LintId, Location};
+use dtc_sim::isa::Instruction;
+
+/// Every ISA instruction the lowering vocabulary contains.
+const ISA: [Instruction; 11] = [
+    Instruction::Hmma,
+    Instruction::Imad,
+    Instruction::Ldg32,
+    Instruction::Ldg128,
+    Instruction::Sts,
+    Instruction::Lds,
+    Instruction::CpAsync,
+    Instruction::Shfl,
+    Instruction::Ffma,
+    Instruction::Atom,
+    Instruction::Stg32,
+];
+
+fn positive_finite(v: f64) -> bool {
+    v.is_finite() && v > 0.0
+}
+
+/// Runs the coverage lints; returns the number of lint passes executed.
+pub(crate) fn run(case: &TraceCase, diags: &mut Vec<Diagnostic>) -> usize {
+    let device = case.device;
+    let trace = case.trace;
+    let mut passes = 0;
+
+    // device-sanity: scalar parameters in range.
+    passes += 1;
+    let scalar_checks: [(&str, f64); 4] = [
+        ("sm_clock_ghz", device.sm_clock_ghz),
+        ("dram_bw_gbps", device.dram_bw_gbps),
+        ("mem_latency_cycles", device.mem_latency_cycles),
+        ("hmma_latency_cycles", device.hmma_latency_cycles),
+    ];
+    for (name, v) in scalar_checks {
+        if !positive_finite(v) {
+            diags.push(Diagnostic::new(
+                LintId::DeviceSanity,
+                Location::TRACE,
+                format!("{name} = {v} must be positive and finite"),
+            ));
+        }
+    }
+    if device.num_sms == 0 {
+        diags.push(Diagnostic::new(
+            LintId::DeviceSanity,
+            Location::TRACE,
+            "num_sms = 0: a device needs at least one SM".into(),
+        ));
+    }
+    if device.sector_bytes == 0 {
+        diags.push(Diagnostic::new(
+            LintId::DeviceSanity,
+            Location::TRACE,
+            "sector_bytes = 0: memory transactions need a positive sector size".into(),
+        ));
+    }
+    if device.l2_ways == 0 {
+        diags.push(Diagnostic::new(
+            LintId::DeviceSanity,
+            Location::TRACE,
+            "l2_ways = 0: the L2 model needs at least one way".into(),
+        ));
+    }
+    if device.l2_bytes < device.l2_ways as u64 * device.sector_bytes as u64 {
+        diags.push(Diagnostic::new(
+            LintId::DeviceSanity,
+            Location::TRACE,
+            format!(
+                "l2_bytes = {} cannot hold even one set of {} ways x {} B sectors",
+                device.l2_bytes, device.l2_ways, device.sector_bytes
+            ),
+        ));
+    }
+
+    // cost-table-coverage: aggregate the emitted work per pipe, then
+    // require a nonzero throughput (or per-op cost) for each pipe used.
+    passes += 1;
+    let mut hmma = 0.0f64;
+    let mut alu = 0.0f64;
+    let mut fp = 0.0f64;
+    let mut lsu = 0.0f64;
+    let mut smem = 0.0f64;
+    let mut shfl = 0.0f64;
+    let mut atom = 0.0f64;
+    for tb in trace.classes() {
+        hmma += tb.hmma_ops;
+        alu += tb.alu_ops;
+        fp += tb.fp_ops;
+        lsu += tb.lsu_a_sectors + tb.lsu_b_sectors + tb.epilogue_sectors;
+        smem += tb.smem_ops;
+        shfl += tb.shfl_ops;
+        atom += tb.atom_ops;
+    }
+    let pipe_checks: [(&str, f64, &str, f64); 7] = [
+        ("hmma_ops", hmma, "tc_hmma_per_cycle", device.tc_hmma_per_cycle),
+        ("alu_ops", alu, "alu_ops_per_cycle", device.alu_ops_per_cycle),
+        ("fp_ops", fp, "fp32_ops_per_cycle", device.fp32_ops_per_cycle),
+        ("lsu sectors", lsu, "lsu_sectors_per_cycle", device.lsu_sectors_per_cycle),
+        ("smem_ops", smem, "smem_ops_per_cycle", device.smem_ops_per_cycle),
+        ("shfl_ops", shfl, "shfl_ops_per_cycle", device.shfl_ops_per_cycle),
+        ("atom_ops", atom, "atomic_cost_cycles", device.atomic_cost_cycles),
+    ];
+    for (work_name, work, entry_name, entry) in pipe_checks {
+        if work > 0.0 && !positive_finite(entry) {
+            diags.push(Diagnostic::new(
+                LintId::CostTableCoverage,
+                Location::TRACE,
+                format!(
+                    "trace emits {work:.0} {work_name} but the device's {entry_name} = {entry} prices them at no cost"
+                ),
+            ));
+        }
+    }
+
+    // isa-latency: the per-instruction table must be positive and finite
+    // for the whole vocabulary, whatever the trace emits.
+    passes += 1;
+    for instr in ISA {
+        let lat = instr.latency_cycles(device);
+        if !positive_finite(lat) {
+            diags.push(Diagnostic::new(
+                LintId::IsaLatency,
+                Location::TRACE,
+                format!("{instr:?} latency = {lat} cycles must be positive and finite"),
+            ));
+        }
+        let sectors = instr.sectors_per_warp();
+        if !(sectors.is_finite() && sectors >= 0.0) {
+            diags.push(Diagnostic::new(
+                LintId::IsaLatency,
+                Location::TRACE,
+                format!("{instr:?} sectors_per_warp = {sectors} must be finite and non-negative"),
+            ));
+        }
+    }
+
+    passes
+}

@@ -1,0 +1,332 @@
+//! Diagnostics: stable lint identities, severities and machine-readable
+//! locations.
+//!
+//! Every finding the analyzer produces is a [`Diagnostic`]: a [`LintId`]
+//! (the stable kebab-case name CI greps for), the lint's fixed
+//! [`Severity`], a [`Location`] inside the trace, and a human-readable
+//! message with the offending numbers.
+
+use std::fmt;
+
+/// How bad a finding is. `Error` findings fail CI; `Warning`s flag
+/// suspicious-but-legal traces; `Info` marks reduced lint coverage (e.g. a
+/// trace lowered without resource metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Reduced analysis coverage — nothing is known to be wrong.
+    Info,
+    /// Legal but suspicious; worth a human look.
+    Warning,
+    /// A hard invariant violation: the trace (or model) is illegal.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name, as emitted in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Stable identity of one lint in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintId {
+    // Structural invariants of the trace itself.
+    /// `occupancy == 0`: the block cannot fit on an SM at all.
+    OccupancyZero,
+    /// `warps_per_tb == 0`: a thread block with no warps.
+    WarpsZero,
+    /// A work field is NaN, infinite or negative.
+    NonfiniteCount,
+    /// `assumed_l2_hit_rate` outside `[0, 1]`.
+    HitRateRange,
+    /// A sector stream is not canonically run-length encoded.
+    StreamNonCanonical,
+    /// A sector address beyond the B operand's footprint.
+    StreamOutOfBounds,
+    /// Two interned duration classes are bit-for-bit identical.
+    ClassDuplicate,
+    /// A duration class no thread block references.
+    ClassUnreferenced,
+    // Resource legality against the SM limits (paper eq. 6).
+    /// `occupancy × warps_per_tb` exceeds the SM's warp slots.
+    WarpSlots,
+    /// `occupancy` exceeds the SM's resident-block limit.
+    BlockSlots,
+    /// Resident blocks' shared memory exceeds the SM capacity.
+    SmemCapacity,
+    /// Resident blocks' registers exceed the SM register file.
+    RegisterFile,
+    /// Trace occupancy inconsistent with the occupancy derived from the
+    /// kernel's resources (paper eq. 6).
+    OccupancyEq6,
+    /// Attached resources disagree with the trace's `warps_per_tb`.
+    WarpsMismatch,
+    /// No [`KernelResources`](dtc_sim::occupancy::KernelResources)
+    /// attached: register/smem legality cannot be checked.
+    ResourcesMissing,
+    // Conservation laws against the problem instance.
+    /// Useful-MAC capacity below `nnz × N`: the kernel cannot have
+    /// computed the product it claims.
+    MacsInsufficient,
+    /// Sparse-operand traffic below the compulsory A footprint.
+    ATrafficCompulsory,
+    /// Dense-operand traffic below the compulsory B footprint.
+    BTrafficCompulsory,
+    /// `cp.async` overlap claimed while sparse double buffering is off.
+    CpAsyncGating,
+    // Cost-table coverage of the device model.
+    /// Emitted pipe work with a zero/invalid device cost entry.
+    CostTableCoverage,
+    /// An ISA instruction with a non-positive or non-finite latency.
+    IsaLatency,
+    /// A device parameter outside its sane range.
+    DeviceSanity,
+    // Speed-of-light checks over a simulation report.
+    /// Reported cycles below the Tensor-Core speed-of-light bound.
+    SolTensorCore,
+    /// Reported cycles below the DRAM-bandwidth speed-of-light bound.
+    SolDram,
+    /// A reported utilization/hit-rate outside `[0, 1]`.
+    UtilizationRange,
+    /// Report counters inconsistent with the trace they came from.
+    CounterIdentity,
+}
+
+impl LintId {
+    /// Every lint in the catalog, in report order.
+    pub const ALL: [LintId; 26] = [
+        LintId::OccupancyZero,
+        LintId::WarpsZero,
+        LintId::NonfiniteCount,
+        LintId::HitRateRange,
+        LintId::StreamNonCanonical,
+        LintId::StreamOutOfBounds,
+        LintId::ClassDuplicate,
+        LintId::ClassUnreferenced,
+        LintId::WarpSlots,
+        LintId::BlockSlots,
+        LintId::SmemCapacity,
+        LintId::RegisterFile,
+        LintId::OccupancyEq6,
+        LintId::WarpsMismatch,
+        LintId::ResourcesMissing,
+        LintId::MacsInsufficient,
+        LintId::ATrafficCompulsory,
+        LintId::BTrafficCompulsory,
+        LintId::CpAsyncGating,
+        LintId::CostTableCoverage,
+        LintId::IsaLatency,
+        LintId::DeviceSanity,
+        LintId::SolTensorCore,
+        LintId::SolDram,
+        LintId::UtilizationRange,
+        LintId::CounterIdentity,
+    ];
+
+    /// The stable kebab-case name (what CI and reports key on).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintId::OccupancyZero => "occupancy-zero",
+            LintId::WarpsZero => "warps-zero",
+            LintId::NonfiniteCount => "nonfinite-count",
+            LintId::HitRateRange => "hit-rate-range",
+            LintId::StreamNonCanonical => "stream-non-canonical",
+            LintId::StreamOutOfBounds => "stream-out-of-bounds",
+            LintId::ClassDuplicate => "class-duplicate",
+            LintId::ClassUnreferenced => "class-unreferenced",
+            LintId::WarpSlots => "warp-slots",
+            LintId::BlockSlots => "block-slots",
+            LintId::SmemCapacity => "smem-capacity",
+            LintId::RegisterFile => "register-file",
+            LintId::OccupancyEq6 => "occupancy-eq6",
+            LintId::WarpsMismatch => "warps-mismatch",
+            LintId::ResourcesMissing => "resources-missing",
+            LintId::MacsInsufficient => "macs-insufficient",
+            LintId::ATrafficCompulsory => "a-traffic-compulsory",
+            LintId::BTrafficCompulsory => "b-traffic-compulsory",
+            LintId::CpAsyncGating => "cp-async-gating",
+            LintId::CostTableCoverage => "cost-table-coverage",
+            LintId::IsaLatency => "isa-latency",
+            LintId::DeviceSanity => "device-sanity",
+            LintId::SolTensorCore => "sol-tensor-core",
+            LintId::SolDram => "sol-dram",
+            LintId::UtilizationRange => "utilization-range",
+            LintId::CounterIdentity => "counter-identity",
+        }
+    }
+
+    /// The lint's fixed severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintId::ResourcesMissing => Severity::Info,
+            LintId::ClassDuplicate | LintId::ClassUnreferenced => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// One-line description for the catalog listing.
+    pub fn summary(self) -> &'static str {
+        match self {
+            LintId::OccupancyZero => "occupancy must be positive: 0 means the block cannot fit",
+            LintId::WarpsZero => "warps_per_tb must be positive",
+            LintId::NonfiniteCount => "work fields must be finite and non-negative",
+            LintId::HitRateRange => "assumed L2 hit rate must be in [0, 1]",
+            LintId::StreamNonCanonical => {
+                "sector runs must be canonical RLE (no empty or mergeable runs)"
+            }
+            LintId::StreamOutOfBounds => "sector addresses must stay inside the B footprint",
+            LintId::ClassDuplicate => "interned duration classes must be unique",
+            LintId::ClassUnreferenced => "every duration class must be referenced by a block",
+            LintId::WarpSlots => "occupancy x warps must fit the SM warp slots",
+            LintId::BlockSlots => "occupancy must fit the SM resident-block limit",
+            LintId::SmemCapacity => "resident shared memory must fit the SM capacity",
+            LintId::RegisterFile => "resident registers must fit the SM register file",
+            LintId::OccupancyEq6 => "trace occupancy must match eq. 6 for the attached resources",
+            LintId::WarpsMismatch => "attached resources must agree with warps_per_tb",
+            LintId::ResourcesMissing => {
+                "no KernelResources attached; register/smem legality unchecked"
+            }
+            LintId::MacsInsufficient => "useful-MAC capacity must cover nnz x N",
+            LintId::ATrafficCompulsory => "A traffic must cover the compulsory sparse footprint",
+            LintId::BTrafficCompulsory => "B traffic must cover the compulsory dense footprint",
+            LintId::CpAsyncGating => "cp.async overlap requires sparse double buffering",
+            LintId::CostTableCoverage => "every emitted pipe needs a nonzero device cost entry",
+            LintId::IsaLatency => "every ISA instruction needs a positive finite latency",
+            LintId::DeviceSanity => "device parameters must be in sane ranges",
+            LintId::SolTensorCore => "cycles must not beat the Tensor-Core speed of light",
+            LintId::SolDram => "cycles must not beat the DRAM speed of light",
+            LintId::UtilizationRange => "utilizations and hit rates must be in [0, 1]",
+            LintId::CounterIdentity => "report counters must match the trace totals",
+        }
+    }
+}
+
+/// A catalog entry: lint identity plus its fixed severity and summary.
+#[derive(Debug, Clone, Copy)]
+pub struct LintInfo {
+    /// The lint.
+    pub id: LintId,
+    /// Its fixed severity.
+    pub severity: Severity,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// The full lint catalog, in report order.
+pub fn catalog() -> Vec<LintInfo> {
+    LintId::ALL
+        .iter()
+        .map(|&id| LintInfo { id, severity: id.severity(), summary: id.summary() })
+        .collect()
+}
+
+/// Where in a trace a diagnostic points. `None` everywhere means the
+/// finding is about the trace (or device) as a whole.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Location {
+    /// Duration-class index into `KernelTrace::classes`.
+    pub class: Option<usize>,
+    /// Thread-block index in launch order.
+    pub tb: Option<usize>,
+}
+
+impl Location {
+    /// A trace-wide finding.
+    pub const TRACE: Location = Location { class: None, tb: None };
+
+    /// A finding about duration class `c`.
+    pub fn class(c: usize) -> Self {
+        Location { class: Some(c), tb: None }
+    }
+
+    /// A finding about thread block `i` (launch order).
+    pub fn tb(i: usize) -> Self {
+        Location { class: None, tb: Some(i) }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.class, self.tb) {
+            (Some(c), _) => write!(f, "class {c}"),
+            (None, Some(t)) => write!(f, "tb {t}"),
+            (None, None) => write!(f, "trace"),
+        }
+    }
+}
+
+/// One finding: lint, severity, location and a message with the numbers.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub lint: LintId,
+    /// The lint's severity (always `lint.severity()`).
+    pub severity: Severity,
+    /// Where it fired.
+    pub location: Location,
+    /// Human-readable explanation including the offending values.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic with the lint's fixed severity.
+    pub fn new(lint: LintId, location: Location, message: String) -> Self {
+        Diagnostic { lint, severity: lint.severity(), location, message }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] @ {}: {}",
+            self.severity.as_str(),
+            self.lint.as_str(),
+            self.location,
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_kebab() {
+        let mut seen = std::collections::HashSet::new();
+        for id in LintId::ALL {
+            assert!(seen.insert(id.as_str()), "duplicate id {}", id.as_str());
+            assert!(
+                id.as_str()
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "non-kebab id {}",
+                id.as_str()
+            );
+        }
+        assert_eq!(seen.len(), LintId::ALL.len());
+    }
+
+    #[test]
+    fn catalog_matches_all() {
+        let cat = catalog();
+        assert_eq!(cat.len(), LintId::ALL.len());
+        for (info, id) in cat.iter().zip(LintId::ALL) {
+            assert_eq!(info.id, id);
+            assert_eq!(info.severity, id.severity());
+        }
+    }
+
+    #[test]
+    fn display_is_greppable() {
+        let d = Diagnostic::new(LintId::WarpSlots, Location::TRACE, "6 x 9 > 48".into());
+        let s = d.to_string();
+        assert!(s.starts_with("error[warp-slots]"), "{s}");
+    }
+}

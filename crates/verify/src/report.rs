@@ -1,0 +1,137 @@
+//! Aggregated lint results over a kernel x dataset sweep, with a
+//! hand-rolled JSON serialization (the workspace is offline — no serde).
+
+use crate::diag::{Diagnostic, Severity};
+use std::fmt::Write as _;
+
+/// The lint results of one `(kernel, dataset)` case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Kernel name.
+    pub kernel: String,
+    /// Dataset (matrix) name.
+    pub dataset: String,
+    /// Thread blocks in the analyzed trace.
+    pub num_tbs: usize,
+    /// Interned duration classes in the analyzed trace.
+    pub num_classes: usize,
+    /// Every diagnostic the lints produced for this case.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// A full sweep report: one entry per analyzed case.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Device name the sweep targeted.
+    pub device: String,
+    /// Per-case results, in sweep order.
+    pub cases: Vec<CaseResult>,
+}
+
+impl LintReport {
+    /// An empty report for the named device.
+    pub fn new(device: impl Into<String>) -> Self {
+        LintReport { device: device.into(), cases: Vec::new() }
+    }
+
+    /// Total diagnostics at the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.cases.iter().flat_map(|c| &c.diagnostics).filter(|d| d.severity == severity).count()
+    }
+
+    /// Whether any error-severity diagnostic was produced (the CI gate).
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"device\": \"{}\",", escape(&self.device));
+        let _ = writeln!(out, "  \"num_cases\": {},", self.cases.len());
+        let _ = writeln!(out, "  \"errors\": {},", self.count(Severity::Error));
+        let _ = writeln!(out, "  \"warnings\": {},", self.count(Severity::Warning));
+        let _ = writeln!(out, "  \"infos\": {},", self.count(Severity::Info));
+        out.push_str("  \"cases\": [\n");
+        for (i, case) in self.cases.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"kernel\": \"{}\",", escape(&case.kernel));
+            let _ = writeln!(out, "      \"dataset\": \"{}\",", escape(&case.dataset));
+            let _ = writeln!(out, "      \"num_tbs\": {},", case.num_tbs);
+            let _ = writeln!(out, "      \"num_classes\": {},", case.num_classes);
+            out.push_str("      \"diagnostics\": [\n");
+            for (j, d) in case.diagnostics.iter().enumerate() {
+                out.push_str("        {");
+                let _ = write!(out, "\"lint\": \"{}\", ", d.lint.as_str());
+                let _ = write!(out, "\"severity\": \"{}\", ", d.severity.as_str());
+                if let Some(c) = d.location.class {
+                    let _ = write!(out, "\"class\": {c}, ");
+                }
+                if let Some(t) = d.location.tb {
+                    let _ = write!(out, "\"tb\": {t}, ");
+                }
+                let _ = write!(out, "\"message\": \"{}\"", escape(&d.message));
+                out.push('}');
+                out.push_str(if j + 1 < case.diagnostics.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("      ]\n");
+            out.push_str(if i + 1 < self.cases.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, LintId, Location};
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let mut report = LintReport::new("RTX4090");
+        report.cases.push(CaseResult {
+            kernel: "DTC-SpMM".into(),
+            dataset: "web-\"quoted\"".into(),
+            num_tbs: 7,
+            num_classes: 3,
+            diagnostics: vec![Diagnostic::new(
+                LintId::WarpSlots,
+                Location::tb(2),
+                "48 < 64".into(),
+            )],
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"lint\": \"warp-slots\""));
+        assert!(json.contains("\"tb\": 2"));
+        assert!(json.contains("web-\\\"quoted\\\""));
+        assert!(report.has_errors());
+        assert_eq!(report.count(Severity::Error), 1);
+        assert_eq!(report.count(Severity::Warning), 0);
+    }
+
+    #[test]
+    fn empty_report_has_no_errors() {
+        assert!(!LintReport::new("RTX4090").has_errors());
+    }
+}

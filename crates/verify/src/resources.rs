@@ -1,0 +1,115 @@
+//! Resource legality: the trace's claimed occupancy against the SM limits
+//! of the target device — warp slots, resident-block slots, shared-memory
+//! capacity, the register file, and the paper's eq. 6 occupancy rule.
+
+use crate::case::TraceCase;
+use crate::diag::{Diagnostic, LintId, Location};
+use dtc_sim::occupancy::{occupancy, SmResources};
+
+fn round_up(value: u32, granularity: u32) -> u32 {
+    let g = granularity.max(1);
+    value.div_ceil(g) * g
+}
+
+/// Runs the resource lints; returns the number of lint passes executed.
+pub(crate) fn run(case: &TraceCase, diags: &mut Vec<Diagnostic>) -> usize {
+    let trace = case.trace;
+    let sm = SmResources::for_device(case.device);
+    let occ = trace.occupancy as u32;
+    let warps = trace.warps_per_tb as u32;
+    let mut passes = 0;
+
+    // warp-slots: needs only the launch configuration.
+    passes += 1;
+    if occ.saturating_mul(warps) > sm.max_warps {
+        diags.push(Diagnostic::new(
+            LintId::WarpSlots,
+            Location::TRACE,
+            format!(
+                "occupancy {occ} x {warps} warps = {} resident warps exceeds the SM's {} warp slots",
+                occ * warps,
+                sm.max_warps
+            ),
+        ));
+    }
+
+    // block-slots.
+    passes += 1;
+    if occ > sm.max_blocks {
+        diags.push(Diagnostic::new(
+            LintId::BlockSlots,
+            Location::TRACE,
+            format!("occupancy {occ} exceeds the SM's {} resident-block slots", sm.max_blocks),
+        ));
+    }
+
+    let Some(res) = trace.resources() else {
+        passes += 1;
+        diags.push(Diagnostic::new(
+            LintId::ResourcesMissing,
+            Location::TRACE,
+            "no KernelResources attached: register/smem legality and eq. 6 unchecked".into(),
+        ));
+        return passes;
+    };
+
+    // warps-mismatch: the attached resources must describe this launch.
+    passes += 1;
+    if res.warps_per_block != warps {
+        diags.push(Diagnostic::new(
+            LintId::WarpsMismatch,
+            Location::TRACE,
+            format!(
+                "attached resources declare {} warps per block but the trace launches {warps}",
+                res.warps_per_block
+            ),
+        ));
+    }
+
+    // smem-capacity: resident blocks' allocated shared memory.
+    passes += 1;
+    let smem_per_block = round_up(res.shared_memory_per_block, sm.smem_granularity);
+    let smem_resident = occ.saturating_mul(smem_per_block);
+    if smem_resident > sm.shared_memory {
+        diags.push(Diagnostic::new(
+            LintId::SmemCapacity,
+            Location::TRACE,
+            format!(
+                "occupancy {occ} x {smem_per_block} B shared memory = {smem_resident} B exceeds the SM's {} B",
+                sm.shared_memory
+            ),
+        ));
+    }
+
+    // register-file: resident warps' allocated registers.
+    passes += 1;
+    let regs_per_warp = round_up(res.registers_per_thread * 32, sm.register_granularity);
+    let regs_resident = occ.saturating_mul(res.warps_per_block).saturating_mul(regs_per_warp);
+    if regs_resident > sm.registers {
+        diags.push(Diagnostic::new(
+            LintId::RegisterFile,
+            Location::TRACE,
+            format!(
+                "occupancy {occ} x {} warps x {regs_per_warp} registers = {regs_resident} exceeds the SM's {}",
+                res.warps_per_block, sm.registers
+            ),
+        ));
+    }
+
+    // occupancy-eq6: the claimed occupancy against the derived one.
+    passes += 1;
+    let derived = occupancy(&sm, res);
+    if occ != derived {
+        let relation = if occ > derived { "exceeds" } else { "undercuts" };
+        diags.push(Diagnostic::new(
+            LintId::OccupancyEq6,
+            Location::TRACE,
+            format!(
+                "trace occupancy {occ} {relation} the eq. 6 occupancy {derived} for the attached resources on {}",
+                case.device.name
+            ),
+        ));
+    }
+
+    passes
+}

@@ -1,0 +1,128 @@
+//! Speed-of-light lints over a finished [`SimReport`]: no simulated kernel
+//! may beat the hardware's physical limits, and the report's counters must
+//! stay consistent with the trace they were accumulated from.
+
+use crate::case::TraceCase;
+use crate::diag::{Diagnostic, LintId, Location};
+use dtc_sim::SimReport;
+
+/// Relative slack for floating-point accumulation-order differences.
+const SLACK: f64 = 1.0 - 1e-9;
+
+/// Runs the report lints; returns the number of lint passes executed.
+pub(crate) fn run(case: &TraceCase, report: &SimReport) -> (usize, Vec<Diagnostic>) {
+    let device = case.device;
+    let trace = case.trace;
+    let mut diags = Vec::new();
+    let mut passes = 0;
+
+    // utilization-range.
+    passes += 1;
+    let util = report.tc_utilization;
+    if !(util.is_finite() && (0.0..=1.0).contains(&util)) {
+        diags.push(Diagnostic::new(
+            LintId::UtilizationRange,
+            Location::TRACE,
+            format!("tc_utilization = {util} is outside [0, 1]"),
+        ));
+    }
+    if let Some(hit) = report.l2_hit_rate {
+        if !(hit.is_finite() && (0.0..=1.0).contains(&hit)) {
+            diags.push(Diagnostic::new(
+                LintId::UtilizationRange,
+                Location::TRACE,
+                format!("l2_hit_rate = {hit} is outside [0, 1]"),
+            ));
+        }
+    }
+    if !(report.cycles.is_finite() && report.cycles >= 0.0) {
+        diags.push(Diagnostic::new(
+            LintId::UtilizationRange,
+            Location::TRACE,
+            format!("cycles = {} must be finite and non-negative", report.cycles),
+        ));
+    }
+
+    // sol-tensor-core: the whole device's TC pipes, perfectly packed,
+    // cannot retire the trace's HMMA work faster than this.
+    passes += 1;
+    let tc_rate = device.num_sms as f64 * device.tc_hmma_per_cycle;
+    if tc_rate > 0.0 {
+        let floor = trace.total_hmma_ops() / tc_rate;
+        if report.cycles < floor * SLACK {
+            diags.push(Diagnostic::new(
+                LintId::SolTensorCore,
+                Location::TRACE,
+                format!(
+                    "{:.0} cycles beats the Tensor-Core speed of light {floor:.0} for {:.0} HMMA",
+                    report.cycles,
+                    trace.total_hmma_ops()
+                ),
+            ));
+        }
+    }
+
+    // sol-dram: the DRAM bytes the report itself claims cannot move
+    // faster than the device bandwidth.
+    passes += 1;
+    let dram_rate = device.dram_bytes_per_cycle();
+    if dram_rate > 0.0 {
+        let floor = report.dram_bytes / dram_rate;
+        if report.cycles < floor * SLACK {
+            diags.push(Diagnostic::new(
+                LintId::SolDram,
+                Location::TRACE,
+                format!(
+                    "{:.0} cycles beats the DRAM speed of light {floor:.0} for {:.0} DRAM bytes",
+                    report.cycles, report.dram_bytes
+                ),
+            ));
+        }
+    }
+
+    // counter-identity: the report's instruction totals must re-derive
+    // from the trace (accumulation order may differ, hence the relative
+    // tolerance), and its DRAM bytes from its own sector-miss counter.
+    passes += 1;
+    let mults = trace.class_multiplicities();
+    let mut hmma = 0.0f64;
+    let mut imad = 0.0f64;
+    for (tb, &m) in trace.classes().iter().zip(&mults) {
+        hmma += tb.hmma_count * m as f64;
+        imad += tb.imad_count * m as f64;
+    }
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0);
+    if !close(hmma, report.counters.instructions.hmma) {
+        diags.push(Diagnostic::new(
+            LintId::CounterIdentity,
+            Location::TRACE,
+            format!(
+                "report counts {:.0} HMMA but the trace totals {hmma:.0}",
+                report.counters.instructions.hmma
+            ),
+        ));
+    }
+    if !close(imad, report.counters.instructions.imad) {
+        diags.push(Diagnostic::new(
+            LintId::CounterIdentity,
+            Location::TRACE,
+            format!(
+                "report counts {:.0} IMAD but the trace totals {imad:.0}",
+                report.counters.instructions.imad
+            ),
+        ));
+    }
+    let miss_bytes = report.counters.l2_sector_misses * device.sector_bytes as f64;
+    if !close(miss_bytes, report.dram_bytes) {
+        diags.push(Diagnostic::new(
+            LintId::CounterIdentity,
+            Location::TRACE,
+            format!(
+                "dram_bytes = {:.0} disagrees with l2_sector_misses x sector = {miss_bytes:.0}",
+                report.dram_bytes
+            ),
+        ));
+    }
+
+    (passes, diags)
+}

@@ -1,0 +1,192 @@
+//! Structural invariants of the trace representation itself: launch
+//! configuration, work-field sanity, sector-stream encoding, and
+//! interning-class consistency.
+
+use crate::case::TraceCase;
+use crate::diag::{Diagnostic, LintId, Location};
+use std::collections::HashMap;
+
+/// At most this many diagnostics are emitted per lint before the rest are
+/// folded into one summary line (a single broken lowering site can taint
+/// every block of a large trace).
+pub(crate) const MAX_PER_LINT: usize = 16;
+
+/// Emits `diag` unless `count` already passed the cap; at the cap, emits a
+/// summary instead. Returns the new count.
+pub(crate) fn capped(diags: &mut Vec<Diagnostic>, count: usize, diag: Diagnostic) -> usize {
+    if count < MAX_PER_LINT {
+        diags.push(diag);
+    } else if count == MAX_PER_LINT {
+        let lint = diag.lint;
+        diags.push(Diagnostic::new(
+            lint,
+            Location::TRACE,
+            format!("further {} findings suppressed after the first {MAX_PER_LINT}", lint.as_str()),
+        ));
+    }
+    count + 1
+}
+
+/// Runs the structural lints; returns the number of lint passes executed.
+pub(crate) fn run(case: &TraceCase, diags: &mut Vec<Diagnostic>) -> usize {
+    let trace = case.trace;
+    let mut passes = 0;
+
+    // occupancy-zero / warps-zero: the launch configuration itself.
+    passes += 1;
+    if trace.occupancy == 0 {
+        diags.push(Diagnostic::new(
+            LintId::OccupancyZero,
+            Location::TRACE,
+            "occupancy is 0: the thread block cannot fit on an SM (eq. 6 denominator)".into(),
+        ));
+    }
+    passes += 1;
+    if trace.warps_per_tb == 0 {
+        diags.push(Diagnostic::new(
+            LintId::WarpsZero,
+            Location::TRACE,
+            "warps_per_tb is 0: a thread block must hold at least one warp".into(),
+        ));
+    }
+
+    // hit-rate-range.
+    passes += 1;
+    let hit = trace.assumed_l2_hit_rate;
+    if !(hit.is_finite() && (0.0..=1.0).contains(&hit)) {
+        diags.push(Diagnostic::new(
+            LintId::HitRateRange,
+            Location::TRACE,
+            format!("assumed_l2_hit_rate = {hit} is outside [0, 1]"),
+        ));
+    }
+
+    // nonfinite-count: every numeric work field of every class.
+    passes += 1;
+    let mut found = 0;
+    for (c, tb) in trace.classes().iter().enumerate() {
+        for (name, v) in tb.numeric_fields() {
+            if !(v.is_finite() && v >= 0.0) {
+                found = capped(
+                    diags,
+                    found,
+                    Diagnostic::new(
+                        LintId::NonfiniteCount,
+                        Location::class(c),
+                        format!("{name} = {v} must be finite and non-negative"),
+                    ),
+                );
+            }
+        }
+    }
+
+    // stream-non-canonical / stream-out-of-bounds.
+    passes += 1;
+    let bound = case.problem.map(|p| {
+        let row_sectors = ((p.n as u64 * 4).div_ceil(32)).max(1);
+        (p.cols as u64).saturating_mul(row_sectors)
+    });
+    if bound.is_some() {
+        passes += 1;
+    }
+    let mut non_canonical = 0;
+    let mut oob = 0;
+    if trace.has_streams() {
+        for i in 0..trace.num_tbs() {
+            let stream = trace.stream(i);
+            let runs = stream.runs();
+            for (k, run) in runs.iter().enumerate() {
+                if run.len == 0 {
+                    non_canonical = capped(
+                        diags,
+                        non_canonical,
+                        Diagnostic::new(
+                            LintId::StreamNonCanonical,
+                            Location::tb(i),
+                            format!("run {k} has length 0 (start {})", run.start),
+                        ),
+                    );
+                }
+                if k + 1 < runs.len() {
+                    let next = &runs[k + 1];
+                    if run.start + run.len as u64 == next.start && run.len < u32::MAX {
+                        non_canonical = capped(
+                            diags,
+                            non_canonical,
+                            Diagnostic::new(
+                                LintId::StreamNonCanonical,
+                                Location::tb(i),
+                                format!(
+                                    "runs {k} and {} are contiguous ({}+{} = {}) but unmerged",
+                                    k + 1,
+                                    run.start,
+                                    run.len,
+                                    next.start
+                                ),
+                            ),
+                        );
+                    }
+                }
+                if let Some(limit) = bound {
+                    let end = run.start.saturating_add(run.len as u64);
+                    if end > limit {
+                        oob = capped(
+                            diags,
+                            oob,
+                            Diagnostic::new(
+                                LintId::StreamOutOfBounds,
+                                Location::tb(i),
+                                format!(
+                                    "run {k} ends at sector {end} beyond the B footprint of {limit} sectors"
+                                ),
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // class-duplicate / class-unreferenced: interning consistency. Legacy
+    // (non-interned) traces legitimately duplicate classes, so the
+    // duplicate check only applies to interned traces.
+    passes += 1;
+    if trace.interning() {
+        let mut seen: HashMap<Vec<u64>, usize> = HashMap::new();
+        let mut dup = 0;
+        for (c, tb) in trace.classes().iter().enumerate() {
+            let mut key: Vec<u64> = tb.numeric_fields().iter().map(|&(_, v)| v.to_bits()).collect();
+            key.push(tb.overlap_a_fetch as u64);
+            if let Some(&first) = seen.get(&key) {
+                dup = capped(
+                    diags,
+                    dup,
+                    Diagnostic::new(
+                        LintId::ClassDuplicate,
+                        Location::class(c),
+                        format!("duplicates class {first}: interning should have merged them"),
+                    ),
+                );
+            } else {
+                seen.insert(key, c);
+            }
+        }
+    }
+    passes += 1;
+    let mut unref = 0;
+    for (c, &mult) in trace.class_multiplicities().iter().enumerate() {
+        if mult == 0 {
+            unref = capped(
+                diags,
+                unref,
+                Diagnostic::new(
+                    LintId::ClassUnreferenced,
+                    Location::class(c),
+                    "no thread block references this class".into(),
+                ),
+            );
+        }
+    }
+
+    passes
+}

@@ -18,10 +18,13 @@ cargo bench --no-run --workspace
 echo "== sim_throughput --smoke"
 cargo run --release -q -p dtc-bench --bin sim_throughput -- --smoke
 
+echo "== tracelint --smoke"
+cargo run --release -q -p dtc-bench --bin tracelint -- --smoke
+
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "== cargo clippy -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets --all-features -- -D warnings
 
 echo "CI gate passed."

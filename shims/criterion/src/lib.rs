@@ -12,6 +12,7 @@
 //! `harness = false` bench targets), every benchmark body runs exactly once
 //! so the suite stays fast and still smoke-tests each bench path.
 
+#![forbid(unsafe_code)]
 use std::time::{Duration, Instant};
 
 /// How work is scaled when reporting throughput (subset of upstream's enum).

@@ -12,6 +12,7 @@
 //! - **Deterministic by default.** The generator seed is derived from the test
 //!   name, so failures reproduce without a persistence file.
 
+#![forbid(unsafe_code)]
 use std::ops::Range;
 
 use rand::{rngs::StdRng, RngExt, SeedableRng};

@@ -9,6 +9,7 @@
 //!
 //! This is NOT a cryptographic RNG and is not the upstream `rand` crate.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod rngs {

@@ -16,7 +16,9 @@
 //! - [`gnn`] — the end-to-end GCN case study;
 //! - [`datasets`] — synthetic stand-ins for the paper's benchmarks;
 //! - [`telemetry`] — the process-wide metrics registry behind the
-//!   `DTC_METRICS` JSON snapshot.
+//!   `DTC_METRICS` JSON snapshot;
+//! - [`verify`] — the static trace/model analyzer behind the `tracelint`
+//!   CI gate (resource legality, conservation laws, speed-of-light).
 //!
 //! # Quickstart
 //!
@@ -44,6 +46,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// One-stop imports for the common workflow.
@@ -75,3 +78,4 @@ pub use dtc_par as par;
 pub use dtc_reorder as reorder;
 pub use dtc_sim as sim;
 pub use dtc_telemetry as telemetry;
+pub use dtc_verify as verify;
