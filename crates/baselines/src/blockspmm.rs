@@ -71,6 +71,7 @@ impl SpmmKernel for BlockSpmm {
             for slot in 0..self.bell.blocks_per_row() {
                 let Some(bc) = self.bell.slot_block_col(br, slot) else { continue };
                 let vals = self.bell.slot_values(br, slot);
+                let mask = self.bell.slot_mask(br, slot);
                 for lr in 0..bs {
                     let gr = br * bs + lr;
                     if gr >= self.rows() {
@@ -79,8 +80,12 @@ impl SpmmKernel for BlockSpmm {
                     let out = c.row_mut(gr);
                     for lc in 0..bs {
                         let v = vals[lr * bs + lc];
-                        if v == 0.0 {
-                            continue; // zeros cost time, not numerics
+                        if !mask[lr * bs + lc] {
+                            // ELL padding costs time, not numerics; stored
+                            // entries (even explicit zeros) must multiply
+                            // so 0 x Inf = NaN propagates like everywhere
+                            // else in the lineup.
+                            continue;
                         }
                         let gc = bc as usize * bs + lc;
                         if gc >= self.cols() {

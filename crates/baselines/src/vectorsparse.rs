@@ -69,11 +69,16 @@ impl SpmmKernel for VectorSparseSpmm {
         let mut c = DenseMatrix::zeros(self.rows(), n);
         for g in 0..self.cvse.num_groups() {
             let (cols, vals) = self.cvse.group(g);
+            let mask = self.cvse.group_mask(g);
             for (i, &col) in cols.iter().enumerate() {
                 let b_row = b.row(col as usize);
                 for lr in 0..vlen {
                     let v = vals[i * vlen + lr];
-                    if v == 0.0 {
+                    if !mask[i * vlen + lr] {
+                        // Vector padding costs time, not numerics; stored
+                        // entries (even explicit zeros) must multiply so
+                        // 0 x Inf = NaN propagates like everywhere else in
+                        // the lineup.
                         continue;
                     }
                     let gr = g * vlen + lr;

@@ -3,11 +3,15 @@
 //!
 //! The paper's §6 point is that conversion overhead amortizes across the
 //! thousands of SpMM calls an iterative workload makes; this cache makes
-//! the host-side analogue concrete. Keys are a 64-bit FNV-1a hash over the
-//! full matrix structure (shape, `row_ptr`, `col_idx`, value bits), so two
-//! structurally identical matrices share one conversion; ME-TCF depends on
-//! nothing else (device, kernel options and precision only affect traces,
-//! which are cached per engine — see `DtcSpmm::trace`).
+//! the host-side analogue concrete. The primary key is a 64-bit FNV-1a
+//! hash over the full matrix structure (shape, `row_ptr`, `col_idx`, value
+//! bits) — but a bare 64-bit hash is not an identity: a collision would
+//! silently return *another matrix's* conversion and corrupt every
+//! downstream result. Each entry therefore stores independent key material
+//! ([`KeyMaterial`]: dims, nnz, and second-hash checksums of the index and
+//! value arrays) that is verified on every hit; mismatches are counted in
+//! `core.cache.conversion.collisions` and fall through to a fresh
+//! conversion stored alongside the colliding entry.
 //!
 //! Hit/miss counts live in the process-wide [`dtc_telemetry`] registry
 //! (`core.cache.conversion.hits` / `.misses`) so they appear in every
@@ -15,7 +19,9 @@
 //! over the registry so tests and benchmarks can observe that repeated
 //! `build`/`execute` runs do not re-convert.
 
-use crate::telemetry::{conversion_cache_hits, conversion_cache_misses};
+use crate::telemetry::{
+    conversion_cache_collisions, conversion_cache_hits, conversion_cache_misses,
+};
 use dtc_formats::{CsrMatrix, MeTcfMatrix};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -30,42 +36,89 @@ pub struct CachedConversion {
     pub distinct_cols: usize,
 }
 
+/// Identity material verified on every primary-key hit. Dims and nnz are
+/// stored outright; the three arrays are summarized by FNV-1a checksums
+/// seeded differently from [`matrix_key`], so a primary-key collision and
+/// a simultaneous three-checksum collision would need independent 64-bit
+/// coincidences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct KeyMaterial {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    row_ptr_sum: u64,
+    col_idx_sum: u64,
+    value_sum: u64,
+}
+
+/// FNV-1a over a `u64` stream, from a caller-chosen offset basis.
+fn fnv1a(seed: u64, stream: impl Iterator<Item = u64>) -> u64 {
+    let mut h = seed;
+    for x in stream {
+        h ^= x;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl KeyMaterial {
+    fn of(a: &CsrMatrix) -> Self {
+        // Distinct offset bases decorrelate the checksums from the primary
+        // key (all use the same FNV prime over the same streams).
+        KeyMaterial {
+            rows: a.rows(),
+            cols: a.cols(),
+            nnz: a.nnz(),
+            row_ptr_sum: fnv1a(0x6c62_272e_07bb_0142, a.row_ptr().iter().map(|&p| p as u64)),
+            col_idx_sum: fnv1a(0xdead_beef_cafe_f00d, a.col_idx().iter().map(|&c| c as u64)),
+            value_sum: fnv1a(0x0123_4567_89ab_cdef, a.values().iter().map(|v| v.to_bits() as u64)),
+        }
+    }
+}
+
 /// Bound on resident entries; reaching it clears the map (the workloads we
 /// serve cycle over small dataset suites, so wholesale eviction is fine and
 /// keeps the bookkeeping trivial).
 const CACHE_CAP: usize = 64;
 
-static CACHE: OnceLock<Mutex<HashMap<u64, Arc<CachedConversion>>>> = OnceLock::new();
+/// Each primary key holds a small bucket so verified non-matches
+/// (collisions) can coexist instead of evicting each other.
+type Bucket = Vec<(KeyMaterial, Arc<CachedConversion>)>;
+
+static CACHE: OnceLock<Mutex<HashMap<u64, Bucket>>> = OnceLock::new();
 
 /// FNV-1a over the matrix's full structure and value bits.
 pub fn matrix_key(a: &CsrMatrix) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut eat = |x: u64| {
-        h ^= x;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    };
-    eat(a.rows() as u64);
-    eat(a.cols() as u64);
-    eat(a.nnz() as u64);
-    for &p in a.row_ptr() {
-        eat(p as u64);
-    }
-    for &c in a.col_idx() {
-        eat(c as u64);
-    }
-    for &v in a.values() {
-        eat(v.to_bits() as u64);
-    }
-    h
+    let shape = [a.rows() as u64, a.cols() as u64, a.nnz() as u64];
+    let stream = shape
+        .into_iter()
+        .chain(a.row_ptr().iter().map(|&p| p as u64))
+        .chain(a.col_idx().iter().map(|&c| c as u64))
+        .chain(a.values().iter().map(|v| v.to_bits() as u64));
+    fnv1a(0xcbf2_9ce4_8422_2325, stream)
 }
 
 /// Returns the cached conversion for `a`, converting (and inserting) on miss.
 pub fn metcf_for(a: &CsrMatrix) -> Arc<CachedConversion> {
-    let key = matrix_key(a);
+    lookup_or_convert(matrix_key(a), a)
+}
+
+/// The cache core, keyed explicitly so tests can force primary-key
+/// collisions: a hit requires both the primary key *and* the stored
+/// [`KeyMaterial`] to match; a key match with foreign material counts a
+/// collision and converts fresh.
+fn lookup_or_convert(key: u64, a: &CsrMatrix) -> Arc<CachedConversion> {
+    let material = KeyMaterial::of(a);
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(hit) = cache.lock().unwrap().get(&key) {
-        conversion_cache_hits().incr();
-        return Arc::clone(hit);
+    {
+        let map = cache.lock().unwrap();
+        if let Some(bucket) = map.get(&key) {
+            if let Some((_, hit)) = bucket.iter().find(|(m, _)| *m == material) {
+                conversion_cache_hits().incr();
+                return Arc::clone(hit);
+            }
+            conversion_cache_collisions().incr();
+        }
     }
     conversion_cache_misses().incr();
     // Convert outside the lock: conversion fans out over worker threads and
@@ -78,7 +131,7 @@ pub fn metcf_for(a: &CsrMatrix) -> Arc<CachedConversion> {
     if map.len() >= CACHE_CAP {
         map.clear();
     }
-    map.insert(key, Arc::clone(&built));
+    map.entry(key).or_default().push((material, Arc::clone(&built)));
     built
 }
 
@@ -131,5 +184,29 @@ mod tests {
         let cached = metcf_for(&a);
         assert_eq!(cached.metcf, MeTcfMatrix::from_csr(&a));
         assert_eq!(cached.distinct_cols, dtc_baselines::util::distinct_col_count(&a));
+    }
+
+    #[test]
+    fn crafted_collision_is_detected_not_served() {
+        // Two different matrices forced onto the SAME primary key: before
+        // hit verification, the second lookup silently returned the first
+        // matrix's conversion. Now the material mismatch is detected,
+        // counted, and both conversions coexist in the bucket.
+        let a = uniform(96, 96, 500, 77);
+        let b = uniform(64, 64, 300, 78);
+        let forced_key = 0xC011_1DED_C011_1DED;
+        let collisions_before = conversion_cache_collisions().get();
+        let conv_a = lookup_or_convert(forced_key, &a);
+        let conv_b = lookup_or_convert(forced_key, &b);
+        assert_eq!(conv_a.metcf.rows(), 96);
+        assert_eq!(conv_b.metcf.rows(), 64, "collision must not serve a's conversion");
+        assert_eq!(conversion_cache_collisions().get(), collisions_before + 1);
+        // Both entries now hit without further collisions or conversions.
+        let (_, misses0) = conversion_cache_stats();
+        assert!(Arc::ptr_eq(&conv_a, &lookup_or_convert(forced_key, &a)));
+        assert!(Arc::ptr_eq(&conv_b, &lookup_or_convert(forced_key, &b)));
+        let (_, misses1) = conversion_cache_stats();
+        assert_eq!(misses1, misses0);
+        assert_eq!(conversion_cache_collisions().get(), collisions_before + 1);
     }
 }

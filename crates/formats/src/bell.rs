@@ -35,6 +35,11 @@ pub struct BellMatrix {
     /// Dense storage: one `block_size^2` slab per slot, row-major within the
     /// block, aligned with `block_cols`.
     block_values: Vec<f32>,
+    /// Structural occupancy aligned with `block_values`: `true` where the
+    /// original matrix stored an entry. Distinguishes explicit stored
+    /// zeros (which must participate in the multiply — `0 x Inf = NaN`)
+    /// from ELL padding (which must not).
+    block_mask: Vec<bool>,
 }
 
 impl BellMatrix {
@@ -83,6 +88,7 @@ impl BellMatrix {
         let slot_len = block_size * block_size;
         let mut block_cols = vec![u32::MAX; num_block_rows * blocks_per_row];
         let mut block_values = vec![0f32; num_block_rows * blocks_per_row * slot_len];
+        let mut block_mask = vec![false; num_block_rows * blocks_per_row * slot_len];
         for (br, blocks) in per_row_blocks.iter().enumerate() {
             for (slot, &bc) in blocks.iter().enumerate() {
                 block_cols[br * blocks_per_row + slot] = bc;
@@ -95,6 +101,7 @@ impl BellMatrix {
             let base = (br * blocks_per_row + slot) * slot_len;
             let local = (r % block_size) * block_size + (c % block_size);
             block_values[base + local] = v;
+            block_mask[base + local] = true;
         }
         Ok(BellMatrix {
             rows: a.rows(),
@@ -104,6 +111,7 @@ impl BellMatrix {
             blocks_per_row,
             block_cols,
             block_values,
+            block_mask,
         })
     }
 
@@ -160,6 +168,15 @@ impl BellMatrix {
         &self.block_values[base..base + slot_len]
     }
 
+    /// Structural occupancy of a slot, aligned with
+    /// [`slot_values`](Self::slot_values): `true` where the original
+    /// matrix stored an entry (even an explicit zero), `false` for padding.
+    pub fn slot_mask(&self, block_row: usize, slot: usize) -> &[bool] {
+        let slot_len = self.block_size * self.block_size;
+        let base = (block_row * self.blocks_per_row + slot) * slot_len;
+        &self.block_mask[base..base + slot_len]
+    }
+
     /// Bytes of padded value + index storage.
     pub fn padded_bytes(&self) -> u64 {
         self.block_values.len() as u64 * 4 + self.block_cols.len() as u64 * 4
@@ -174,9 +191,9 @@ impl BellMatrix {
         self.nnz as f64 / self.block_values.len() as f64
     }
 
-    /// Reconstructs the original matrix (for verification). Explicit zero
-    /// entries of the original are dropped: the dense storage cannot
-    /// distinguish them from padding.
+    /// Reconstructs the original matrix (for verification). The occupancy
+    /// mask keeps explicit zero entries distinct from padding, so the
+    /// round-trip is exact.
     ///
     /// # Errors
     ///
@@ -187,13 +204,13 @@ impl BellMatrix {
             for slot in 0..self.blocks_per_row {
                 let Some(bc) = self.slot_block_col(br, slot) else { continue };
                 let vals = self.slot_values(br, slot);
+                let mask = self.slot_mask(br, slot);
                 for lr in 0..self.block_size {
                     for lc in 0..self.block_size {
-                        let v = vals[lr * self.block_size + lc];
-                        if v != 0.0 {
+                        if mask[lr * self.block_size + lc] {
                             let r = br * self.block_size + lr;
                             let c = bc as usize * self.block_size + lc;
-                            triplets.push((r, c, v));
+                            triplets.push((r, c, vals[lr * self.block_size + lc]));
                         }
                     }
                 }

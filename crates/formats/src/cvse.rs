@@ -33,6 +33,11 @@ pub struct CvseMatrix {
     vector_cols: Vec<u32>,
     /// Dense vector values, `vector_len` per stored vector.
     vector_values: Vec<f32>,
+    /// Structural occupancy aligned with `vector_values`: `true` where the
+    /// original matrix stored an entry. Distinguishes explicit stored
+    /// zeros (which must participate in the multiply — `0 x Inf = NaN`)
+    /// from vector padding (which must not).
+    vector_mask: Vec<bool>,
 }
 
 impl CvseMatrix {
@@ -50,6 +55,7 @@ impl CvseMatrix {
         let mut group_ptr = Vec::with_capacity(num_groups + 1);
         let mut vector_cols: Vec<u32> = Vec::new();
         let mut vector_values: Vec<f32> = Vec::new();
+        let mut vector_mask: Vec<bool> = Vec::new();
         group_ptr.push(0);
         for g in 0..num_groups {
             let row_lo = g * vector_len;
@@ -62,11 +68,13 @@ impl CvseMatrix {
             cols.dedup();
             let base = vector_values.len();
             vector_values.resize(base + cols.len() * vector_len, 0.0);
+            vector_mask.resize(base + cols.len() * vector_len, false);
             for r in row_lo..row_hi {
                 let (rcols, rvals) = a.row_entries(r);
                 for (&c, &v) in rcols.iter().zip(rvals) {
                     let slot = cols.binary_search(&c).expect("col present");
                     vector_values[base + slot * vector_len + (r - row_lo)] = v;
+                    vector_mask[base + slot * vector_len + (r - row_lo)] = true;
                 }
             }
             vector_cols.extend_from_slice(&cols);
@@ -80,6 +88,7 @@ impl CvseMatrix {
             group_ptr,
             vector_cols,
             vector_values,
+            vector_mask,
         })
     }
 
@@ -123,6 +132,14 @@ impl CvseMatrix {
         )
     }
 
+    /// Structural occupancy of the vectors in group `g`, aligned with the
+    /// values of [`group`](Self::group): `true` where the original matrix
+    /// stored an entry (even an explicit zero), `false` for padding.
+    pub fn group_mask(&self, g: usize) -> &[bool] {
+        let range = self.group_ptr[g]..self.group_ptr[g + 1];
+        &self.vector_mask[range.start * self.vector_len..range.end * self.vector_len]
+    }
+
     /// Fraction of stored value slots that are real non-zeros.
     pub fn fill_ratio(&self) -> f64 {
         if self.vector_values.is_empty() {
@@ -136,9 +153,9 @@ impl CvseMatrix {
         self.vector_values.len() as u64 * 4 + self.vector_cols.len() as u64 * 4
     }
 
-    /// Reconstructs the original matrix (for verification). Explicit zero
-    /// entries of the original are dropped: the dense storage cannot
-    /// distinguish them from padding.
+    /// Reconstructs the original matrix (for verification). The occupancy
+    /// mask keeps explicit zero entries distinct from padding, so the
+    /// round-trip is exact.
     ///
     /// # Errors
     ///
@@ -147,10 +164,11 @@ impl CvseMatrix {
         let mut triplets = Vec::with_capacity(self.nnz);
         for g in 0..self.num_groups() {
             let (cols, vals) = self.group(g);
+            let mask = self.group_mask(g);
             for (i, &c) in cols.iter().enumerate() {
                 for lr in 0..self.vector_len {
-                    let v = vals[i * self.vector_len + lr];
-                    if v != 0.0 {
+                    if mask[i * self.vector_len + lr] {
+                        let v = vals[i * self.vector_len + lr];
                         triplets.push((g * self.vector_len + lr, c as usize, v));
                     }
                 }

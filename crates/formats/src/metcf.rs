@@ -91,7 +91,10 @@ impl MeTcfMatrix {
     /// Panics when the array lengths are mutually inconsistent:
     /// `row_window_offset` must cover `⌈rows/16⌉` windows and end at the
     /// block count, `tc_offset` must end at the non-zero count, and
-    /// `sparse_a_to_b` must hold 8 slots per block.
+    /// `sparse_a_to_b` must hold 8 slots per block. Empty offset arrays are
+    /// accepted as the zero-window / zero-block degenerate encodings and
+    /// normalized to the canonical `[0]` form (a zero-nnz matrix would
+    /// otherwise underflow the block count below).
     pub fn from_raw_parts(
         rows: usize,
         cols: usize,
@@ -101,11 +104,19 @@ impl MeTcfMatrix {
         sparse_a_to_b: Vec<u32>,
         values: Vec<f32>,
     ) -> Self {
+        let mut row_window_offset = row_window_offset;
+        let mut tc_offset = tc_offset;
+        if row_window_offset.is_empty() {
+            row_window_offset.push(0);
+        }
+        if tc_offset.is_empty() {
+            tc_offset.push(0);
+        }
         assert_eq!(row_window_offset.len(), rows.div_ceil(WINDOW_HEIGHT) + 1);
-        assert_eq!(*row_window_offset.first().unwrap_or(&0), 0);
+        assert_eq!(row_window_offset[0], 0);
         let num_blocks = tc_offset.len() - 1;
-        assert_eq!(*row_window_offset.last().unwrap_or(&0) as usize, num_blocks);
-        assert_eq!(*tc_offset.last().expect("tc_offset non-empty") as usize, tc_local_id.len());
+        assert_eq!(*row_window_offset.last().unwrap() as usize, num_blocks);
+        assert_eq!(*tc_offset.last().unwrap() as usize, tc_local_id.len());
         assert_eq!(sparse_a_to_b.len(), num_blocks * BLOCK_WIDTH);
         assert_eq!(values.len(), tc_local_id.len());
         MeTcfMatrix { rows, cols, row_window_offset, tc_offset, tc_local_id, sparse_a_to_b, values }
@@ -269,6 +280,46 @@ mod tests {
     fn roundtrip() {
         let a = sample();
         let m = MeTcfMatrix::from_csr(&a);
+        assert_eq!(m.to_csr().unwrap(), a);
+    }
+
+    #[test]
+    fn zero_nnz_roundtrip() {
+        // No stored entries at all: every window is empty, tc arrays are
+        // empty, and the round-trip must reproduce the shape.
+        for (rows, cols) in [(1, 1), (16, 8), (33, 7), (161, 129)] {
+            let a = CsrMatrix::from_triplets(rows, cols, &[]).unwrap();
+            let m = MeTcfMatrix::from_csr(&a);
+            assert_eq!(m.num_tc_blocks(), 0);
+            assert_eq!(m.nnz(), 0);
+            assert_eq!(m.num_windows(), rows.div_ceil(WINDOW_HEIGHT));
+            assert_eq!(m.to_csr().unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_accepts_empty_offset_arrays() {
+        // The zero-block degenerate encodings: empty offset vectors stand
+        // in for the canonical `[0]` and previously underflowed the block
+        // count. A 0-row matrix has zero windows, so `row_window_offset`
+        // may itself be empty.
+        let m = MeTcfMatrix::from_raw_parts(0, 5, vec![], vec![], vec![], vec![], vec![]);
+        assert_eq!(m.num_windows(), 0);
+        assert_eq!(m.num_tc_blocks(), 0);
+        let m = MeTcfMatrix::from_raw_parts(12, 5, vec![0, 0], vec![], vec![], vec![], vec![]);
+        assert_eq!(m.num_windows(), 1);
+        assert_eq!(m.num_tc_blocks(), 0);
+        assert_eq!(m.to_csr().unwrap(), CsrMatrix::from_triplets(12, 5, &[]).unwrap());
+    }
+
+    #[test]
+    fn all_empty_windows_except_one_roundtrip() {
+        // Entries confined to one interior window; the empty windows before
+        // and after must carry zero blocks through conversion and back.
+        let a = CsrMatrix::from_triplets(80, 20, &[(35, 3, 1.5), (38, 19, -2.0)]).unwrap();
+        let m = MeTcfMatrix::from_csr(&a);
+        assert_eq!(m.num_windows(), 5);
+        assert_eq!(m.window_block_counts(), vec![0, 0, 1, 0, 0]);
         assert_eq!(m.to_csr().unwrap(), a);
     }
 

@@ -7,7 +7,8 @@
 //! [`round_to_tf32`] so that the numerical behaviour of the reproduction
 //! matches what an RTX4090 would produce.
 
-/// Rounds an `f32` to TF32 precision (10-bit mantissa, round-to-nearest-even).
+/// Rounds an `f32` to TF32 precision (10-bit mantissa, round-to-nearest-even,
+/// subnormal inputs flushed to same-signed zero).
 ///
 /// # Example
 ///
@@ -19,13 +20,21 @@
 /// // A value needing more than 10 mantissa bits is perturbed.
 /// let x = 1.0 + f32::EPSILON;
 /// assert_eq!(round_to_tf32(x), 1.0);
+/// // Subnormals flush to zero, keeping the sign.
+/// assert_eq!(round_to_tf32(-1.0e-39).to_bits(), (-0.0f32).to_bits());
 /// ```
 #[inline]
 pub fn round_to_tf32(x: f32) -> f32 {
     if !x.is_finite() {
-        return x;
+        return x; // NaN and ±Inf pass through, as `mma` inputs do.
     }
     let bits = x.to_bits();
+    // Tensor Cores flush subnormal inputs to same-signed zero. This must
+    // precede the RNE bit-twiddle, which would otherwise round the largest
+    // subnormals *up* into the min-normal (0x007FFFFF -> 0x00800000).
+    if bits & 0x7F80_0000 == 0 {
+        return f32::from_bits(bits & 0x8000_0000);
+    }
     // FP32 has 23 mantissa bits; TF32 keeps 10, so 13 bits are dropped.
     const DROP: u32 = 13;
     let halfway = 1u32 << (DROP - 1);
@@ -70,6 +79,25 @@ mod tests {
         assert!(round_to_tf32(f32::NAN).is_nan());
         assert_eq!(round_to_tf32(f32::INFINITY), f32::INFINITY);
         assert_eq!(round_to_tf32(f32::NEG_INFINITY), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn subnormals_flush_to_signed_zero() {
+        // Includes the largest subnormal, which the RNE step alone would
+        // round UP into the min-normal instead of flushing.
+        for s in [f32::from_bits(1), 1.0e-39, f32::from_bits(0x007F_FFFF)] {
+            assert_eq!(round_to_tf32(s).to_bits(), 0, "{s:e}");
+            assert_eq!(round_to_tf32(-s).to_bits(), 0x8000_0000, "-{s:e}");
+        }
+        // The smallest normal is exactly representable and must survive.
+        assert_eq!(round_to_tf32(f32::MIN_POSITIVE), f32::MIN_POSITIVE);
+        assert_eq!(round_to_tf32(-f32::MIN_POSITIVE), -f32::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn signed_zero_is_preserved() {
+        assert_eq!(round_to_tf32(0.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(round_to_tf32(-0.0).to_bits(), (-0.0f32).to_bits());
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! The exact-reference and error-envelope oracles.
+//!
+//! Every kernel in the lineup computes `C = A x B` with TF32-rounded
+//! multiplicands (2^-11 unit roundoff, emulated bit-exactly in
+//! `dtc_formats::tf32`) accumulated in f32, except the pure-CUDA-core
+//! baselines which skip the multiplicand rounding. The reference is
+//! computed once per case in f64 with *unrounded* multiplicands; the
+//! envelope then covers both legal divergences:
+//!
+//! - multiplicand rounding: `2 * u_tf32 * sum |a_ik * b_kj|` (one rounding
+//!   per operand, first order);
+//! - accumulation order and f32 arithmetic: `gamma_k = (k + 4) * eps_f32`
+//!   relative to the same absolute sum;
+//! - subnormal flush-to-zero at the TF32 input: an absolute term bounded
+//!   by `min_normal * (|a| + |b| + 1)` per product.
+//!
+//! Special values are adjudicated structurally: a NaN product forces NaN
+//! in every accumulation order; an infinite product (without NaN) forces a
+//! non-finite result; near-f32-overflow magnitudes are skipped because
+//! partial-sum overflow is legitimately order-dependent.
+
+use dtc_formats::tf32::TF32_UNIT_ROUNDOFF;
+use dtc_formats::{CsrMatrix, DenseMatrix};
+
+/// Absolute sums above this are in the f32-overflow gray zone: partial
+/// sums may legitimately overflow in one accumulation order and not
+/// another, so magnitude checks are skipped.
+const OVERFLOW_GRAY_ZONE: f64 = 1.0e37;
+
+/// Per-element classification of the exact result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// All products finite, absolute sum comfortably inside f32 range.
+    Finite,
+    /// At least one NaN product (NaN input or `0 * inf`): result must be NaN.
+    Nan,
+    /// At least one infinite product, no NaN product: result must be non-finite.
+    Infinite,
+    /// Finite products but the absolute sum is near f32 overflow: skip.
+    GrayZone,
+}
+
+/// The exact f64 reference result and its per-element error envelope.
+#[derive(Debug, Clone)]
+pub struct Reference {
+    rows: usize,
+    n: usize,
+    /// Row-major exact values.
+    c: Vec<f64>,
+    /// Row-major envelope half-widths.
+    env: Vec<f64>,
+    /// Row-major element classes.
+    class: Vec<Class>,
+}
+
+/// One adjudicated disagreement between a kernel and the reference.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Element row.
+    pub row: usize,
+    /// Element column.
+    pub col: usize,
+    /// The kernel's value.
+    pub got: f32,
+    /// The exact reference value.
+    pub want: f64,
+    /// The envelope half-width the difference exceeded.
+    pub envelope: f64,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "C[{},{}] = {:e} but reference is {:e} (envelope {:e})",
+            self.row, self.col, self.got, self.want, self.envelope
+        )
+    }
+}
+
+impl Reference {
+    /// Computes the exact reference and envelope for `a x b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != a.cols()`.
+    pub fn compute(a: &CsrMatrix, b: &DenseMatrix) -> Self {
+        assert_eq!(b.rows(), a.cols(), "operand shapes must agree");
+        let rows = a.rows();
+        let n = b.cols();
+        let mut c = vec![0.0f64; rows * n];
+        let mut env = vec![0.0f64; rows * n];
+        let mut class = vec![Class::Finite; rows * n];
+        let min_normal = f32::MIN_POSITIVE as f64;
+        for r in 0..rows {
+            let (cols, vals) = a.row_entries(r);
+            let k_terms = cols.len() as f64;
+            let rel = 2.0 * TF32_UNIT_ROUNDOFF as f64 + (k_terms + 4.0) * f32::EPSILON as f64;
+            for j in 0..n {
+                let mut sum = 0.0f64;
+                let mut abs_sum = 0.0f64;
+                let mut flush = 0.0f64;
+                let mut has_nan = false;
+                let mut has_inf = false;
+                for (idx, &col) in cols.iter().enumerate() {
+                    let av = vals[idx] as f64;
+                    let bv = b.get(col as usize, j) as f64;
+                    let prod = av * bv;
+                    if prod.is_nan() {
+                        has_nan = true;
+                    } else if prod.is_infinite() {
+                        has_inf = true;
+                    } else {
+                        sum += prod;
+                        abs_sum += prod.abs();
+                        flush += min_normal * (av.abs() + bv.abs() + 1.0);
+                    }
+                }
+                let e = r * n + j;
+                c[e] = sum;
+                env[e] = abs_sum * rel + flush;
+                class[e] = if has_nan {
+                    Class::Nan
+                } else if has_inf {
+                    Class::Infinite
+                } else if abs_sum > OVERFLOW_GRAY_ZONE {
+                    Class::GrayZone
+                } else {
+                    Class::Finite
+                };
+            }
+        }
+        Reference { rows, n, c, env, class }
+    }
+
+    /// Output rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Output columns.
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// The exact value at `(row, col)`.
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.c[row * self.n + col]
+    }
+
+    /// The envelope half-width at `(row, col)`.
+    pub fn envelope(&self, row: usize, col: usize) -> f64 {
+        self.env[row * self.n + col]
+    }
+}
+
+/// Checks a kernel result against the reference; returns the first
+/// mismatch in row-major order, or `None` when every element is inside
+/// its envelope (and special values have the mandated structure).
+pub fn check_against(reference: &Reference, got: &DenseMatrix) -> Option<Mismatch> {
+    if got.rows() != reference.rows || got.cols() != reference.n {
+        return Some(Mismatch {
+            row: got.rows(),
+            col: got.cols(),
+            got: f32::NAN,
+            want: reference.rows as f64,
+            envelope: reference.n as f64,
+        });
+    }
+    for r in 0..reference.rows {
+        for j in 0..reference.n {
+            let e = r * reference.n + j;
+            let g = got.get(r, j);
+            let ok = match reference.class[e] {
+                Class::Nan => g.is_nan(),
+                Class::Infinite => !g.is_finite(),
+                Class::GrayZone => true,
+                Class::Finite => {
+                    g.is_finite() && (g as f64 - reference.c[e]).abs() <= reference.env[e]
+                }
+            };
+            if !ok {
+                return Some(Mismatch {
+                    row: r,
+                    col: j,
+                    got: g,
+                    want: reference.c[e],
+                    envelope: reference.env[e],
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (CsrMatrix, DenseMatrix) {
+        let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, -2.0), (1, 1, 0.5)])
+            .expect("valid");
+        let b = DenseMatrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        (a, b)
+    }
+
+    #[test]
+    fn reference_matches_hand_computation() {
+        let (a, b) = small();
+        let r = Reference::compute(&a, &b);
+        // Row 0: 1*b[0][..] + (-2)*b[2][..] = [0,1] - 2*[4,5] = [-8,-9].
+        assert_eq!(r.value(0, 0), -8.0);
+        assert_eq!(r.value(0, 1), -9.0);
+        // Row 1: 0.5*b[1][..] = [1,1.5].
+        assert_eq!(r.value(1, 0), 1.0);
+        assert_eq!(r.value(1, 1), 1.5);
+    }
+
+    #[test]
+    fn exact_result_is_inside_envelope() {
+        let (a, b) = small();
+        let r = Reference::compute(&a, &b);
+        let c = a.spmm_reference(&b).expect("shapes agree");
+        assert!(check_against(&r, &c).is_none());
+    }
+
+    #[test]
+    fn corrupted_result_is_flagged() {
+        let (a, b) = small();
+        let r = Reference::compute(&a, &b);
+        let mut c = a.spmm_reference(&b).expect("shapes agree");
+        c.set(1, 1, 2.5);
+        let m = check_against(&r, &c).expect("must flag");
+        assert_eq!((m.row, m.col), (1, 1));
+    }
+
+    #[test]
+    fn nan_products_require_nan() {
+        let a = CsrMatrix::from_triplets(1, 1, &[(0, 0, f32::INFINITY)]).expect("valid");
+        let b = DenseMatrix::zeros(1, 1); // inf * 0 = NaN
+        let r = Reference::compute(&a, &b);
+        let mut c = DenseMatrix::zeros(1, 1);
+        assert!(check_against(&r, &c).is_some(), "0.0 is not NaN");
+        c.set(0, 0, f32::NAN);
+        assert!(check_against(&r, &c).is_none());
+    }
+
+    #[test]
+    fn infinite_products_require_non_finite() {
+        let a = CsrMatrix::from_triplets(1, 1, &[(0, 0, f32::INFINITY)]).expect("valid");
+        let b = DenseMatrix::ones(1, 1);
+        let r = Reference::compute(&a, &b);
+        let mut c = DenseMatrix::zeros(1, 1);
+        assert!(check_against(&r, &c).is_some());
+        c.set(0, 0, f32::INFINITY);
+        assert!(check_against(&r, &c).is_none());
+    }
+
+    #[test]
+    fn subnormal_flush_is_inside_envelope() {
+        // A subnormal times a large-ish value: FTZ at the TF32 input makes
+        // the product exactly zero; the envelope's absolute term must
+        // absorb that.
+        let a = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0e-39)]).expect("valid");
+        let b = DenseMatrix::ones(1, 1);
+        let r = Reference::compute(&a, &b);
+        let c = DenseMatrix::zeros(1, 1); // flushed result
+        assert!(check_against(&r, &c).is_none());
+    }
+}

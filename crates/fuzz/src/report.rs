@@ -1,0 +1,182 @@
+//! Sweep aggregation and the `FUZZ.json` artifact.
+//!
+//! Hand-rolled JSON (the workspace is offline — no serde), deterministic
+//! field order, so the same sweep config always serializes to the same
+//! bytes.
+
+use crate::gen::{family_names, FuzzCase};
+use crate::runner::{CaseOutcome, Failure};
+use crate::shrink::fixture_code;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One recorded failure with its minimized reproducer.
+#[derive(Debug, Clone)]
+pub struct FailureRecord {
+    /// Sweep index of the originating case.
+    pub index: usize,
+    /// Generator family.
+    pub family: &'static str,
+    /// Per-case seed.
+    pub seed: u64,
+    /// Failing kernel or pseudo-step.
+    pub kernel: String,
+    /// Failure class (stable kebab-case id).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Minimized reproducer (fixture string).
+    pub fixture: String,
+}
+
+/// A full sweep report.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// The master seed of the sweep.
+    pub master_seed: u64,
+    /// Device name the traces were lowered for.
+    pub device: String,
+    /// Total cases run.
+    pub cases_run: usize,
+    /// Total kernel executions across all cases.
+    pub kernels_run: usize,
+    /// Per-family case tallies: `(run, failed)`.
+    pub families: BTreeMap<&'static str, (usize, usize)>,
+    /// Every failure, in sweep order, with minimized fixtures.
+    pub failures: Vec<FailureRecord>,
+}
+
+impl FuzzReport {
+    /// An empty report for one sweep.
+    pub fn new(master_seed: u64, device: impl Into<String>) -> Self {
+        let mut families = BTreeMap::new();
+        for &f in family_names() {
+            families.insert(f, (0, 0));
+        }
+        FuzzReport {
+            master_seed,
+            device: device.into(),
+            cases_run: 0,
+            kernels_run: 0,
+            families,
+            failures: Vec::new(),
+        }
+    }
+
+    /// Tallies one executed case.
+    pub fn record_case(&mut self, case: &FuzzCase, outcome: &CaseOutcome) {
+        self.cases_run += 1;
+        self.kernels_run += outcome.kernels_run;
+        let entry = self.families.entry(case.family).or_insert((0, 0));
+        entry.0 += 1;
+        if !outcome.failures.is_empty() {
+            entry.1 += 1;
+        }
+    }
+
+    /// Records one failure with its minimized reproducer.
+    pub fn record_failure(
+        &mut self,
+        case: &FuzzCase,
+        index: usize,
+        failure: &Failure,
+        minimized: &FuzzCase,
+    ) {
+        self.failures.push(FailureRecord {
+            index,
+            family: case.family,
+            seed: case.seed,
+            kernel: failure.kernel.clone(),
+            kind: failure.kind.as_str(),
+            detail: failure.detail.clone(),
+            fixture: fixture_code(minimized),
+        });
+    }
+
+    /// Whether any failure was recorded (the CI gate).
+    pub fn has_failures(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"master_seed\": {},", self.master_seed);
+        let _ = writeln!(out, "  \"device\": \"{}\",", escape(&self.device));
+        let _ = writeln!(out, "  \"cases_run\": {},", self.cases_run);
+        let _ = writeln!(out, "  \"kernels_run\": {},", self.kernels_run);
+        let _ = writeln!(out, "  \"num_failures\": {},", self.failures.len());
+        out.push_str("  \"families\": {\n");
+        let last = self.families.len();
+        for (i, (family, (run, failed))) in self.families.iter().enumerate() {
+            let _ = write!(out, "    \"{family}\": {{\"run\": {run}, \"failed\": {failed}}}");
+            out.push_str(if i + 1 < last { ",\n" } else { "\n" });
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"failures\": [\n");
+        for (i, f) in self.failures.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"index\": {},", f.index);
+            let _ = writeln!(out, "      \"family\": \"{}\",", escape(f.family));
+            let _ = writeln!(out, "      \"seed\": {},", f.seed);
+            let _ = writeln!(out, "      \"kernel\": \"{}\",", escape(&f.kernel));
+            let _ = writeln!(out, "      \"kind\": \"{}\",", f.kind);
+            let _ = writeln!(out, "      \"detail\": \"{}\",", escape(&f.detail));
+            let _ = writeln!(out, "      \"fixture\": \"{}\"", escape(&f.fixture));
+            out.push_str(if i + 1 < self.failures.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::FailureKind;
+    use dtc_formats::{CsrMatrix, DenseMatrix};
+
+    fn tiny_case() -> FuzzCase {
+        let a = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0)]).expect("valid");
+        FuzzCase { family: "zero-nnz", seed: 9, a, b: DenseMatrix::ones(1, 1) }
+    }
+
+    #[test]
+    fn json_shape_and_gate() {
+        let mut report = FuzzReport::new(3, "RTX4090");
+        let case = tiny_case();
+        report.record_case(&case, &CaseOutcome { failures: vec![], kernels_run: 12 });
+        assert!(!report.has_failures());
+        let failure = Failure {
+            kernel: "DTC-SpMM".into(),
+            kind: FailureKind::ValueMismatch,
+            detail: "C[0,0] off".into(),
+        };
+        report.record_failure(&case, 0, &failure, &case);
+        assert!(report.has_failures());
+        let json = report.to_json();
+        assert!(json.contains("\"kind\": \"value-mismatch\""), "{json}");
+        assert!(json.contains("\"zero-nnz\": {\"run\": 1, \"failed\": 0}"), "{json}");
+        assert!(json.contains("M1 K1 N1"), "{json}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Greedy case minimization.
+//!
+//! A failing case shrinks through a fixed, deterministic transformation
+//! order — halve rows (either half), halve columns, halve the dense
+//! width, halve the non-zeros, then collapse every value to `1.0` — each
+//! step kept only if the *same* failure (kind + step name) still
+//! reproduces. The result is the small reproducer that gets pinned as a
+//! regression fixture.
+
+use crate::gen::FuzzCase;
+use crate::runner::{run_case, Failure};
+use dtc_formats::{CsrMatrix, DenseMatrix};
+use dtc_sim::Device;
+
+/// Upper bound on accepted shrink steps (a safety valve; real cases
+/// converge in far fewer).
+const MAX_STEPS: usize = 64;
+
+/// Does `candidate` still exhibit `target`'s failure?
+fn reproduces(candidate: &FuzzCase, target: &Failure, device: &Device) -> bool {
+    run_case(candidate, device)
+        .failures
+        .iter()
+        .any(|f| f.kind == target.kind && f.kernel == target.kernel)
+}
+
+/// Rebuilds a case from triplets and a dense operand.
+fn rebuild(
+    base: &FuzzCase,
+    rows: usize,
+    cols: usize,
+    triplets: &[(usize, usize, f32)],
+    b: DenseMatrix,
+) -> Option<FuzzCase> {
+    let a = CsrMatrix::from_triplets(rows, cols, triplets).ok()?;
+    Some(FuzzCase { family: base.family, seed: base.seed, a, b })
+}
+
+/// Keeps dense rows `lo..hi`.
+fn b_rows(b: &DenseMatrix, lo: usize, hi: usize) -> DenseMatrix {
+    DenseMatrix::from_fn(hi - lo, b.cols(), |r, c| b.get(lo + r, c))
+}
+
+/// Keeps dense columns `0..w`.
+fn b_cols(b: &DenseMatrix, w: usize) -> DenseMatrix {
+    DenseMatrix::from_fn(b.rows(), w, |r, c| b.get(r, c))
+}
+
+/// The candidate transformations for one step, in priority order.
+fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let a = &case.a;
+    let b = &case.b;
+    let triplets: Vec<(usize, usize, f32)> = a.iter().collect();
+    let mut out = Vec::new();
+
+    // Halve the row count: keep either half.
+    if a.rows() > 1 {
+        let h = a.rows() / 2;
+        out.push(FuzzCase {
+            family: case.family,
+            seed: case.seed,
+            a: a.sub_rows(0..h),
+            b: b.clone(),
+        });
+        let top: Vec<_> =
+            triplets.iter().filter(|t| t.0 >= h).map(|&(r, c, v)| (r - h, c, v)).collect();
+        if let Some(c) = rebuild(case, a.rows() - h, a.cols(), &top, b.clone()) {
+            out.push(c);
+        }
+    }
+
+    // Halve the column count: keep either half (rebasing the upper half).
+    if a.cols() > 1 {
+        let h = a.cols() / 2;
+        let lo: Vec<_> = triplets.iter().filter(|t| t.1 < h).copied().collect();
+        if let Some(c) = rebuild(case, a.rows(), h, &lo, b_rows(b, 0, h)) {
+            out.push(c);
+        }
+        let hi: Vec<_> =
+            triplets.iter().filter(|t| t.1 >= h).map(|&(r, c, v)| (r, c - h, v)).collect();
+        if let Some(c) = rebuild(case, a.rows(), a.cols() - h, &hi, b_rows(b, h, a.cols())) {
+            out.push(c);
+        }
+    }
+
+    // Halve the dense width.
+    if b.cols() > 1 {
+        out.push(FuzzCase {
+            family: case.family,
+            seed: case.seed,
+            a: a.clone(),
+            b: b_cols(b, b.cols().div_ceil(2)),
+        });
+    }
+
+    // Halve the non-zeros: keep either half of the triplet list.
+    if triplets.len() > 1 {
+        let h = triplets.len() / 2;
+        for keep in [&triplets[..h], &triplets[h..]] {
+            if let Some(c) = rebuild(case, a.rows(), a.cols(), keep, b.clone()) {
+                out.push(c);
+            }
+        }
+    }
+
+    // Collapse all values to 1.0 (A and B together, then separately).
+    let ones: Vec<_> = triplets.iter().map(|&(r, c, _)| (r, c, 1.0)).collect();
+    let flat_b = DenseMatrix::ones(b.rows(), b.cols());
+    if triplets.iter().any(|t| t.2 != 1.0) || b.as_slice().iter().any(|&v| v != 1.0) {
+        if let Some(c) = rebuild(case, a.rows(), a.cols(), &ones, flat_b.clone()) {
+            out.push(c);
+        }
+    }
+    if triplets.iter().any(|t| t.2 != 1.0) {
+        if let Some(c) = rebuild(case, a.rows(), a.cols(), &ones, b.clone()) {
+            out.push(c);
+        }
+    }
+    if b.as_slice().iter().any(|&v| v != 1.0) {
+        out.push(FuzzCase { family: case.family, seed: case.seed, a: a.clone(), b: flat_b });
+    }
+    out
+}
+
+/// Greedily minimizes `case` while `target` still reproduces.
+///
+/// Deterministic: fixed transformation order, first reproducing candidate
+/// wins each step. Returns the original case unchanged when nothing
+/// smaller reproduces (including when the failure itself is flaky).
+pub fn shrink_case(case: &FuzzCase, target: &Failure, device: &Device) -> FuzzCase {
+    let mut current = case.clone();
+    for _ in 0..MAX_STEPS {
+        let mut advanced = false;
+        for candidate in candidates(&current) {
+            if reproduces(&candidate, target, device) {
+                current = candidate;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    current
+}
+
+/// Renders a case as a compact single-line fixture string — exact to the
+/// bit (values printed with `{:?}`, which round-trips f32).
+pub fn fixture_code(case: &FuzzCase) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(s, "M{} K{} N{} | A", case.a.rows(), case.a.cols(), case.b.cols());
+    for (r, c, v) in case.a.iter() {
+        let _ = write!(s, " ({r},{c},{v:?})");
+    }
+    let _ = write!(s, " | B");
+    for &v in case.b.as_slice() {
+        let _ = write!(s, " {v:?}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::FailureKind;
+
+    #[test]
+    fn fixture_code_is_exact() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, -0.0), (1, 0, f32::NAN)]).expect("valid");
+        let b = DenseMatrix::ones(2, 1);
+        let case = FuzzCase { family: "unit", seed: 0, a, b };
+        let code = fixture_code(&case);
+        assert!(code.contains("(0,1,-0.0)"), "{code}");
+        assert!(code.contains("NaN"), "{code}");
+    }
+
+    #[test]
+    fn shrink_keeps_non_reproducing_case_unchanged() {
+        // A clean case with a fabricated target failure: shrinking must
+        // return it untouched.
+        let a = CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (3, 3, 2.0)]).expect("valid");
+        let b = DenseMatrix::ones(4, 2);
+        let case = FuzzCase { family: "unit", seed: 0, a: a.clone(), b };
+        let target = Failure {
+            kernel: "no-such-step".into(),
+            kind: FailureKind::Panic,
+            detail: String::new(),
+        };
+        let out = shrink_case(&case, &target, &Device::rtx4090());
+        assert_eq!(out.a, a);
+    }
+}

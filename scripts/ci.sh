@@ -21,6 +21,9 @@ cargo run --release -q -p dtc-bench --bin sim_throughput -- --smoke
 echo "== tracelint --smoke"
 cargo run --release -q -p dtc-bench --bin tracelint -- --smoke
 
+echo "== fuzz --smoke"
+cargo run --release -q -p dtc-bench --bin fuzz -- --smoke
+
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 

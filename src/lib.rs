@@ -18,7 +18,10 @@
 //! - [`telemetry`] — the process-wide metrics registry behind the
 //!   `DTC_METRICS` JSON snapshot;
 //! - [`verify`] — the static trace/model analyzer behind the `tracelint`
-//!   CI gate (resource legality, conservation laws, speed-of-light).
+//!   CI gate (resource legality, conservation laws, speed-of-light);
+//! - [`fuzz`] — the deterministic differential fuzzing harness behind the
+//!   `fuzz` CI gate (adversarial generators, f64 + TF32-envelope oracles,
+//!   shrinking to minimal reproducers).
 //!
 //! # Quickstart
 //!
@@ -73,6 +76,7 @@ pub use dtc_baselines as baselines;
 pub use dtc_core as core;
 pub use dtc_datasets as datasets;
 pub use dtc_formats as formats;
+pub use dtc_fuzz as fuzz;
 pub use dtc_gnn as gnn;
 pub use dtc_par as par;
 pub use dtc_reorder as reorder;
