@@ -74,4 +74,32 @@ fn main() {
     if let Ok(tcgnn) = TcgnnSpmm::new(&a) {
         dump("TCGNN-SpMM", &tcgnn.simulate_with(n, &device, &opts));
     }
+    dump_par();
+}
+
+/// The host-side parallel substrate's own counters, accumulated over every
+/// lowering/simulation above: shard tasks and steals, busy-time imbalance,
+/// arena reuse, and the engine's wall/busy/critical-path clocks.
+fn dump_par() {
+    let s = dtc_par::par_stats();
+    println!("\n### dtc-par");
+    println!("  threads         {:10}", dtc_par::num_threads());
+    println!(
+        "  invocations     {:10}  ({:.2} ms wall, {:.2} ms busy, {:.2} ms critical path)",
+        s.invocations,
+        s.wall_ns as f64 / 1e6,
+        s.busy_ns as f64 / 1e6,
+        s.crit_ns as f64 / 1e6
+    );
+    println!("  shard tasks     {:10}", dtc_telemetry::counter("par.shard.tasks").get());
+    println!("  shard steals    {:10}", dtc_telemetry::counter("par.shard.steals").get());
+    println!(
+        "  max imbalance   {:10.3}  (busy_max x workers / busy_sum, last invocation)",
+        dtc_telemetry::gauge("par.shard.max_imbalance").get()
+    );
+    println!("  arena leases    {:10}", dtc_telemetry::counter("par.arena.resets").get());
+    println!(
+        "  arena peak      {:10.1} KiB retained",
+        dtc_telemetry::gauge("par.arena.bytes_peak").get() / 1024.0
+    );
 }

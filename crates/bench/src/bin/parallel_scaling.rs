@@ -5,30 +5,152 @@
 //! range of `dtc_par` thread counts, and writes the speedup curve (relative
 //! to the single-thread baseline) to `BENCH_parallel.json`.
 //!
-//! The conversion cache is cleared before every repetition so each run pays
-//! the real conversion cost; a separate pair of timings demonstrates the
-//! cache instead (second build over the same matrix must be ~free).
+//! Two clocks are reported per phase:
+//!
+//! - **wall** — real threaded execution. On a host with fewer cores than
+//!   workers this says little about the substrate (threads time-slice one
+//!   core), but it guards against regressions: parallel must never be
+//!   slower than serial.
+//! - **critical path** — the engine's virtual-time mode replays the exact
+//!   work-stealing schedule while chunks execute one at a time, so each
+//!   chunk's service time is measured without core contention. The phase's
+//!   critical path is `wall − par_wall + par_crit` (the parallel sections'
+//!   wall replaced by their schedule-limited lower bound): the time the
+//!   phase would take on a host with one core per worker.
+//!
+//! Per-shard steal counts and the busy-time imbalance ratio come from the
+//! `par.shard.*` telemetry. The conversion cache is cleared before every
+//! repetition so each run pays the real conversion cost; a separate pair of
+//! timings demonstrates the cache instead (second build must be ~free).
+//!
+//! `--smoke` runs a reduced sweep (threads 1 and 4, smaller matrix), skips
+//! the JSON dump, and exits non-zero unless the 4-thread critical-path
+//! speedup reaches 1.5x — the CI scaling gate.
 
 use dtc_baselines::SpmmKernel;
 use dtc_core::{clear_conversion_cache, conversion_cache_stats, DtcSpmm};
-use dtc_formats::{gen, DenseMatrix};
+use dtc_formats::{gen, CsrMatrix, DenseMatrix};
 use std::time::Instant;
 
-const THREAD_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
-const REPS: usize = 3;
+const FULL_SWEEP: &[usize] = &[1, 2, 4, 8, 16];
+const SMOKE_SWEEP: &[usize] = &[1, 4];
 const N: usize = 64;
+const SMOKE_GATE: f64 = 1.5;
+
+/// One thread count's measurements.
+struct Sample {
+    threads: usize,
+    total_ms: f64,
+    build_ms: f64,
+    exec_ms: f64,
+    build_crit_ms: f64,
+    exec_crit_ms: f64,
+    steals: u64,
+    max_imbalance: f64,
+}
+
+impl Sample {
+    fn crit_ms(&self) -> f64 {
+        self.build_crit_ms + self.exec_crit_ms
+    }
+}
+
+/// Times `f`, attributing the parallel sections inside it: returns the
+/// result, the phase wall time, and the phase critical path (wall with the
+/// engine sections replaced by their schedule-limited time — meaningful in
+/// virtual-time mode, equal to wall in serial mode up to noise).
+fn timed_phase<R>(f: impl FnOnce() -> R) -> (R, f64, f64) {
+    dtc_par::reset_par_stats();
+    let t = Instant::now();
+    let r = f();
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let s = dtc_par::par_stats();
+    let par_wall_ms = s.wall_ns as f64 / 1e6;
+    let par_crit_ms = s.crit_ns as f64 / 1e6;
+    (r, wall_ms, (wall_ms - par_wall_ms + par_crit_ms).max(0.0))
+}
+
+/// One full pipeline run (cold conversion): returns the result matrix and
+/// per-phase `(wall, crit)` pairs for build and execute.
+fn run_pipeline(a: &CsrMatrix, b: &DenseMatrix) -> (DenseMatrix, [f64; 2], [f64; 2]) {
+    clear_conversion_cache();
+    let (engine, build_ms, build_crit) = timed_phase(|| DtcSpmm::new(a));
+    let (c, exec_ms, exec_crit) = timed_phase(|| engine.execute(b).expect("execute"));
+    (c, [build_ms, build_crit], [exec_ms, exec_crit])
+}
+
+fn assert_bits_identical(got: &DenseMatrix, want: &DenseMatrix, what: &str) {
+    assert_eq!(got.rows(), want.rows(), "{what}: row mismatch");
+    let same = got.as_slice().iter().zip(want.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits());
+    assert!(same, "{what}: output differs bitwise from the serial baseline");
+}
+
+fn measure(a: &CsrMatrix, b: &DenseMatrix, sweep: &[usize], reps: usize) -> Vec<Sample> {
+    let steals_counter = dtc_telemetry::counter("par.shard.steals");
+    let imbalance_gauge = dtc_telemetry::gauge("par.shard.max_imbalance");
+    let mut serial_c: Option<DenseMatrix> = None;
+    let mut samples = Vec::new();
+    for &threads in sweep {
+        dtc_par::set_threads(Some(threads));
+
+        // Real threaded runs: wall times + steal telemetry.
+        let steals0 = steals_counter.get();
+        let mut best = (f64::INFINITY, 0.0, 0.0);
+        for _ in 0..reps {
+            let (c, [build_ms, _], [exec_ms, _]) = run_pipeline(a, b);
+            match &serial_c {
+                None => serial_c = Some(c),
+                Some(want) => assert_bits_identical(&c, want, "threaded run"),
+            }
+            if build_ms + exec_ms < best.0 {
+                best = (build_ms + exec_ms, build_ms, exec_ms);
+            }
+        }
+        let steals = steals_counter.get() - steals0;
+        let max_imbalance = imbalance_gauge.get();
+
+        // Virtual-time run: the schedule's critical path, one chunk at a
+        // time (deterministic work, so one repetition suffices — timing
+        // noise cancels in the wall-vs-par_wall subtraction).
+        dtc_par::set_virtual_time(true);
+        let (c, [_, build_crit], [_, exec_crit]) = run_pipeline(a, b);
+        dtc_par::set_virtual_time(false);
+        assert_bits_identical(&c, serial_c.as_ref().unwrap(), "virtual-time run");
+
+        samples.push(Sample {
+            threads,
+            total_ms: best.0,
+            build_ms: best.1,
+            exec_ms: best.2,
+            build_crit_ms: build_crit,
+            exec_crit_ms: exec_crit,
+            steals,
+            max_imbalance,
+        });
+    }
+    dtc_par::set_threads(None);
+    samples
+}
 
 fn main() {
     let _metrics = dtc_bench::metrics_flush_guard();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
     // Representative of the paper's mid-size graph suite: power-law-ish
-    // community structure, ~0.8 M non-zeros over 12 K rows.
-    let rows = 12 * 1024;
-    let a = gen::community(rows, rows, 48, 64.0, 0.9, 2024);
+    // community structure (smaller in smoke mode, same shape).
+    let rows = if smoke { 4 * 1024 } else { 12 * 1024 };
+    let a = if smoke {
+        gen::community(rows, rows, 32, 48.0, 0.9, 2024)
+    } else {
+        gen::community(rows, rows, 48, 64.0, 0.9, 2024)
+    };
     let b = DenseMatrix::from_fn(rows, N, |r, c| ((r * 13 + c * 5) % 17) as f32 * 0.25 - 2.0);
     let host_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let (sweep, reps) = if smoke { (SMOKE_SWEEP, 2) } else { (FULL_SWEEP, 5) };
 
     eprintln!(
-        "parallel_scaling: {} x {} matrix, {} nnz, N={}, host threads={}",
+        "parallel_scaling{}: {} x {} matrix, {} nnz, N={}, host threads={}",
+        if smoke { " (smoke)" } else { "" },
         a.rows(),
         a.cols(),
         a.nnz(),
@@ -36,41 +158,42 @@ fn main() {
         host_threads
     );
 
-    // End-to-end time (conversion + selection + execute), best of REPS, per
-    // thread count. Serial first: it is the baseline of the speedup curve.
-    let mut sweep = Vec::new();
-    let mut serial_ms = 0.0f64;
-    for &threads in &THREAD_SWEEP {
-        dtc_par::set_threads(Some(threads));
-        let mut best_total = f64::INFINITY;
-        let mut best_build = f64::INFINITY;
-        let mut best_exec = f64::INFINITY;
-        for _ in 0..REPS {
-            clear_conversion_cache();
-            let t0 = Instant::now();
-            let engine = DtcSpmm::new(&a);
-            let build_ms = t0.elapsed().as_secs_f64() * 1e3;
-            let t1 = Instant::now();
-            let c = engine.execute(&b).expect("execute");
-            let exec_ms = t1.elapsed().as_secs_f64() * 1e3;
-            assert_eq!(c.rows(), rows);
-            let total = build_ms + exec_ms;
-            if total < best_total {
-                best_total = total;
-                best_build = build_ms;
-                best_exec = exec_ms;
-            }
-        }
-        if threads == 1 {
-            serial_ms = best_total;
-        }
-        let speedup = serial_ms / best_total;
+    let samples = measure(&a, &b, sweep, reps);
+    let serial_ms = samples[0].total_ms;
+    let serial_crit_ms = samples[0].crit_ms();
+    for s in &samples {
+        let speedup = serial_ms / s.total_ms;
+        let crit_speedup = serial_crit_ms / s.crit_ms();
         eprintln!(
-            "  threads={threads:2}: {best_total:8.1} ms (build {best_build:.1} + execute {best_exec:.1})  speedup {speedup:.2}x"
+            "  threads={:2}: wall {:8.1} ms (build {:.1} + execute {:.1})  speedup {:.2}x | \
+             crit {:8.1} ms (build {:.1} + execute {:.1})  crit speedup {:.2}x | \
+             steals {}  imbalance {:.2}",
+            s.threads,
+            s.total_ms,
+            s.build_ms,
+            s.exec_ms,
+            speedup,
+            s.crit_ms(),
+            s.build_crit_ms,
+            s.exec_crit_ms,
+            crit_speedup,
+            s.steals,
+            s.max_imbalance,
         );
-        sweep.push((threads, best_total, best_build, best_exec, speedup));
     }
-    dtc_par::set_threads(None);
+
+    if smoke {
+        let four = samples.iter().find(|s| s.threads == 4).expect("smoke sweep has 4 threads");
+        let crit_speedup = serial_crit_ms / four.crit_ms();
+        if crit_speedup < SMOKE_GATE {
+            eprintln!(
+                "FAIL: 4-thread critical-path speedup {crit_speedup:.2}x < {SMOKE_GATE:.1}x gate"
+            );
+            std::process::exit(1);
+        }
+        println!("smoke OK: 4-thread critical-path speedup {crit_speedup:.2}x >= {SMOKE_GATE:.1}x");
+        return;
+    }
 
     // Conversion-cache demonstration: a repeated build over the same matrix
     // must skip conversion entirely (observable via the miss counter).
@@ -86,7 +209,9 @@ fn main() {
     assert_eq!(misses1, misses0 + 1, "second build must not re-convert");
     eprintln!("  cache: cold build {cold_ms:.1} ms, warm build {warm_ms:.1} ms");
 
-    let max_speedup = sweep.iter().map(|s| s.4).fold(0.0f64, f64::max);
+    let max_speedup = samples.iter().map(|s| serial_ms / s.total_ms).fold(0.0f64, f64::max);
+    let max_crit_speedup =
+        samples.iter().map(|s| serial_crit_ms / s.crit_ms()).fold(0.0f64, f64::max);
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"parallel_scaling\",\n");
@@ -96,24 +221,41 @@ fn main() {
         a.cols(),
         a.nnz()
     ));
-    json.push_str(&format!("  \"n\": {N},\n  \"reps\": {REPS},\n"));
+    json.push_str(&format!("  \"n\": {N},\n  \"reps\": {reps},\n"));
     json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
     json.push_str(&format!("  \"serial_ms\": {serial_ms:.3},\n"));
+    json.push_str(&format!("  \"serial_crit_ms\": {serial_crit_ms:.3},\n"));
     json.push_str("  \"sweep\": [\n");
-    for (i, (threads, total, build, exec, speedup)) in sweep.iter().enumerate() {
+    for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
-            "    {{ \"threads\": {threads}, \"total_ms\": {total:.3}, \"build_ms\": {build:.3}, \"execute_ms\": {exec:.3}, \"speedup\": {speedup:.3} }}{}\n",
-            if i + 1 < sweep.len() { "," } else { "" }
+            "    {{ \"threads\": {}, \"total_ms\": {:.3}, \"build_ms\": {:.3}, \"execute_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"critical_path_ms\": {:.3}, \"build_crit_ms\": {:.3}, \
+             \"execute_crit_ms\": {:.3}, \"crit_speedup\": {:.3}, \"steals\": {}, \
+             \"max_imbalance\": {:.3} }}{}\n",
+            s.threads,
+            s.total_ms,
+            s.build_ms,
+            s.exec_ms,
+            serial_ms / s.total_ms,
+            s.crit_ms(),
+            s.build_crit_ms,
+            s.exec_crit_ms,
+            serial_crit_ms / s.crit_ms(),
+            s.steals,
+            s.max_imbalance,
+            if i + 1 < samples.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"max_speedup\": {max_speedup:.3},\n"));
+    json.push_str(&format!("  \"max_crit_speedup\": {max_crit_speedup:.3},\n"));
     json.push_str(&format!(
         "  \"conversion_cache\": {{ \"cold_build_ms\": {cold_ms:.3}, \"warm_build_ms\": {warm_ms:.3} }}\n"
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!(
-        "wrote BENCH_parallel.json (max speedup {max_speedup:.2}x on {host_threads}-thread host)"
+        "wrote BENCH_parallel.json (wall max {max_speedup:.2}x, critical path max \
+         {max_crit_speedup:.2}x on {host_threads}-thread host)"
     );
 }

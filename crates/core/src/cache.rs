@@ -61,6 +61,25 @@ fn fnv1a(seed: u64, stream: impl Iterator<Item = u64>) -> u64 {
     h
 }
 
+/// Chunked-parallel FNV-1a over a projected slice: fixed 64 Ki-element
+/// chunks are hashed independently (fanned over the `dtc-par` workers) and
+/// the per-chunk digests combined in chunk order. The chunk size is a
+/// constant — never the thread count — so the digest is identical for any
+/// `DTC_THREADS`. Keying a large matrix was two full serial passes before;
+/// on big inputs those passes showed up in the build critical path.
+fn fnv1a_slice<T: Sync>(seed: u64, data: &[T], proj: impl Fn(&T) -> u64 + Sync) -> u64 {
+    const CHUNK: usize = 64 * 1024;
+    if data.len() <= CHUNK {
+        return fnv1a(seed, data.iter().map(&proj));
+    }
+    let digests = dtc_par::par_map_collect(data.len().div_ceil(CHUNK), |i| {
+        let lo = i * CHUNK;
+        let hi = (lo + CHUNK).min(data.len());
+        fnv1a(seed, data[lo..hi].iter().map(&proj))
+    });
+    fnv1a(seed.rotate_left(17), digests.into_iter())
+}
+
 impl KeyMaterial {
     fn of(a: &CsrMatrix) -> Self {
         // Distinct offset bases decorrelate the checksums from the primary
@@ -69,9 +88,9 @@ impl KeyMaterial {
             rows: a.rows(),
             cols: a.cols(),
             nnz: a.nnz(),
-            row_ptr_sum: fnv1a(0x6c62_272e_07bb_0142, a.row_ptr().iter().map(|&p| p as u64)),
-            col_idx_sum: fnv1a(0xdead_beef_cafe_f00d, a.col_idx().iter().map(|&c| c as u64)),
-            value_sum: fnv1a(0x0123_4567_89ab_cdef, a.values().iter().map(|v| v.to_bits() as u64)),
+            row_ptr_sum: fnv1a_slice(0x6c62_272e_07bb_0142, a.row_ptr(), |&p| p as u64),
+            col_idx_sum: fnv1a_slice(0xdead_beef_cafe_f00d, a.col_idx(), |&c| c as u64),
+            value_sum: fnv1a_slice(0x0123_4567_89ab_cdef, a.values(), |v| v.to_bits() as u64),
         }
     }
 }
@@ -87,15 +106,19 @@ type Bucket = Vec<(KeyMaterial, Arc<CachedConversion>)>;
 
 static CACHE: OnceLock<Mutex<HashMap<u64, Bucket>>> = OnceLock::new();
 
-/// FNV-1a over the matrix's full structure and value bits.
+/// FNV-1a over the matrix's full structure and value bits (each array
+/// digested by the chunked-parallel pass, digests combined in order).
 pub fn matrix_key(a: &CsrMatrix) -> u64 {
-    let shape = [a.rows() as u64, a.cols() as u64, a.nnz() as u64];
-    let stream = shape
-        .into_iter()
-        .chain(a.row_ptr().iter().map(|&p| p as u64))
-        .chain(a.col_idx().iter().map(|&c| c as u64))
-        .chain(a.values().iter().map(|v| v.to_bits() as u64));
-    fnv1a(0xcbf2_9ce4_8422_2325, stream)
+    let shape = fnv1a(
+        0xcbf2_9ce4_8422_2325,
+        [a.rows() as u64, a.cols() as u64, a.nnz() as u64].into_iter(),
+    );
+    let parts = [
+        fnv1a_slice(0x84222325_cbf29ce4, a.row_ptr(), |&p| p as u64),
+        fnv1a_slice(0x9ce48422_2325cbf2, a.col_idx(), |&c| c as u64),
+        fnv1a_slice(0x2325cbf2_9ce48422, a.values(), |v| v.to_bits() as u64),
+    ];
+    fnv1a(shape, parts.into_iter())
 }
 
 /// Returns the cached conversion for `a`, converting (and inserting) on miss.
@@ -122,9 +145,13 @@ fn lookup_or_convert(key: u64, a: &CsrMatrix) -> Arc<CachedConversion> {
     }
     conversion_cache_misses().incr();
     // Convert outside the lock: conversion fans out over worker threads and
-    // other engines' lookups should not wait on it.
+    // other engines' lookups should not wait on it. The parallel converter
+    // packs per-range sub-matrices inside the fan-out (bit-identical to
+    // `MeTcfMatrix::from_csr`, pinned by the convert tests) — the plain
+    // `from_csr` path condenses in parallel but packed serially, which
+    // Amdahl-capped every cold engine build.
     let built = Arc::new(CachedConversion {
-        metcf: MeTcfMatrix::from_csr(a),
+        metcf: crate::convert::convert_to_metcf_parallel(a, dtc_par::num_threads()),
         distinct_cols: dtc_baselines::util::distinct_col_count(a),
     });
     let mut map = cache.lock().unwrap();

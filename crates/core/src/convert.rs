@@ -24,7 +24,9 @@ pub struct ConversionReport {
 /// Converts CSR to ME-TCF using `threads` worker threads over row windows.
 ///
 /// Window condensing is embarrassingly parallel (each 16-row window is
-/// independent); the final array packing is sequential.
+/// independent), and array packing runs inside the same parallel map (per
+/// contiguous nnz-weighted window range); only the final offset re-basing
+/// concatenation is sequential.
 ///
 /// # Example
 ///
@@ -46,54 +48,65 @@ pub fn convert_to_metcf_parallel(a: &CsrMatrix, threads: usize) -> MeTcfMatrix {
     if threads == 1 || num_windows < threads * 4 {
         return MeTcfMatrix::from_csr(a);
     }
-    // Partition windows into contiguous row ranges, condense each range as
-    // an independent sub-matrix, then merge the per-range windows.
-    let windows_per_chunk = num_windows.div_ceil(threads);
-    let rows_per_chunk = windows_per_chunk * WINDOW_HEIGHT;
-    let chunks: Vec<(usize, usize)> = (0..threads)
-        .map(|t| {
-            let lo = t * rows_per_chunk;
-            let hi = ((t + 1) * rows_per_chunk).min(a.rows());
-            (lo, hi)
+    // Partition windows into contiguous row ranges at nnz-weighted cut
+    // points (a window's condense+pack cost tracks its non-zeros, so a few
+    // dense windows no longer pin the whole conversion on one worker), then
+    // condense AND pack each range as an independent sub-matrix in the
+    // parallel map — packing used to run serially in the merge, which
+    // Amdahl-capped the conversion speedup. The merge below only re-bases
+    // and concatenates the packed arrays.
+    let row_ptr = a.row_ptr();
+    let window_weights: Vec<u64> = (0..num_windows)
+        .map(|w| {
+            let lo = w * WINDOW_HEIGHT;
+            let hi = ((w + 1) * WINDOW_HEIGHT).min(a.rows());
+            (row_ptr[hi] - row_ptr[lo]) as u64
         })
-        .filter(|(lo, hi)| lo < hi)
         .collect();
-
-    let partials: Vec<Condensed> = dtc_par::par_map_collect_with(threads, chunks.len(), |i| {
+    let window_plan = dtc_par::ShardPlan::weighted(threads, &window_weights);
+    let chunks: Vec<(usize, usize)> = window_plan
+        .chunk_ranges()
+        .iter()
+        .map(|&(ws, we)| (ws * WINDOW_HEIGHT, (we * WINDOW_HEIGHT).min(a.rows())))
+        .collect();
+    if chunks.len() <= 1 {
+        return MeTcfMatrix::from_csr(a);
+    }
+    let chunk_weights: Vec<u64> =
+        chunks.iter().map(|&(lo, hi)| (row_ptr[hi] - row_ptr[lo]) as u64).collect();
+    let partials: Vec<MeTcfMatrix> = dtc_par::par_map_collect_weighted(&chunk_weights, |i| {
         let (lo, hi) = chunks[i];
-        Condensed::from_csr(&a.sub_rows(lo..hi))
+        MeTcfMatrix::from_condensed(&Condensed::from_csr(&a.sub_rows(lo..hi)))
     });
 
-    // Merge: rebuild a single Condensed by re-basing window start rows.
-    merge_condensed(a, &chunks, partials)
+    // Merge: re-base window/block offsets and concatenate the arrays.
+    merge_packed(a, &chunks, partials)
 }
 
-fn merge_condensed(
+fn merge_packed(
     a: &CsrMatrix,
     chunks: &[(usize, usize)],
-    partials: Vec<Condensed>,
+    partials: Vec<MeTcfMatrix>,
 ) -> MeTcfMatrix {
-    // Rather than stitching internals, reuse the ME-TCF packer on a merged
-    // window list via a shim Condensed. The cheapest correct merge: pack
-    // each partial separately and concatenate the arrays, re-basing
-    // offsets.
-    let mut row_window_offset: Vec<u32> = vec![0];
-    let mut tc_offset: Vec<u32> = vec![0];
+    let total_windows: usize = partials.iter().map(MeTcfMatrix::num_windows).sum();
+    let total_blocks: usize = partials.iter().map(MeTcfMatrix::num_tc_blocks).sum();
+    let mut row_window_offset: Vec<u32> = Vec::with_capacity(total_windows + 1);
+    let mut tc_offset: Vec<u32> = Vec::with_capacity(total_blocks + 1);
     let mut tc_local_id: Vec<u8> = Vec::with_capacity(a.nnz());
-    let mut sparse_a_to_b: Vec<u32> = Vec::new();
+    let mut sparse_a_to_b: Vec<u32> = Vec::with_capacity(total_blocks * 8);
     let mut values: Vec<f32> = Vec::with_capacity(a.nnz());
-    for (partial, &(lo, hi)) in partials.iter().zip(chunks) {
-        let m = MeTcfMatrix::from_condensed(partial);
+    row_window_offset.push(0);
+    tc_offset.push(0);
+    for (m, &(lo, hi)) in partials.iter().zip(chunks) {
         debug_assert_eq!(m.rows(), hi - lo);
-        let block_base = *tc_offset.last().unwrap();
         let nnz_base = tc_local_id.len() as u32;
+        let block_base = tc_offset.len() as u32 - 1;
         for &o in &m.row_window_offset()[1..] {
-            row_window_offset.push(o + (tc_offset.len() as u32 - 1));
+            row_window_offset.push(o + block_base);
         }
         for &o in &m.tc_offset()[1..] {
             tc_offset.push(o + nnz_base);
         }
-        let _ = block_base;
         tc_local_id.extend_from_slice(m.tc_local_id());
         sparse_a_to_b.extend_from_slice(m.sparse_a_to_b());
         values.extend_from_slice(m.values());

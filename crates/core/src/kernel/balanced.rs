@@ -141,13 +141,25 @@ impl SpmmKernel for BalancedDtcKernel {
         }
 
         // Per-TB lowering fans out over threads; TBs only read the shared
-        // block/window tables, and the reduction below keeps TB order.
-        let tbs = dtc_par::par_map_collect(num_tbs, |tb_idx| {
+        // block/window tables, and the reduction below keeps TB order. TBs
+        // hold a fixed block count but not fixed nnz, so shards are cut at
+        // nnz quantiles; the touched-window list leases arena scratch
+        // instead of allocating per TB.
+        let tc_offset = metcf.tc_offset();
+        let weights: Vec<u64> = (0..num_tbs)
+            .map(|tb_idx| {
+                let lo = tb_idx * self.blocks_per_tb;
+                let hi = (lo + self.blocks_per_tb).min(metcf.num_tc_blocks());
+                (tc_offset[hi] - tc_offset[lo]) as u64
+            })
+            .collect();
+        let plan = dtc_par::ShardPlan::weighted(dtc_par::num_threads(), &weights);
+        let tbs = dtc_par::par_map_collect_plan(&plan, |tb_idx, scratch| {
             let lo = tb_idx * self.blocks_per_tb;
             let hi = (lo + self.blocks_per_tb).min(metcf.num_tc_blocks());
             let mut tb = TbWork { overlap_a_fetch: opts.sdb, ..TbWork::default() };
             tb.iters = (hi - lo) as f64;
-            let mut windows_touched: Vec<usize> = Vec::new();
+            let mut windows_touched = scratch.usize_buf();
             let tc_mult = self.inner.precision().tc_throughput_multiplier();
             for t in lo..hi {
                 let cost = DtcKernel::block_cost(metcf, opts, t, n_f, b_row_sectors);
@@ -179,6 +191,7 @@ impl SpmmKernel for BalancedDtcKernel {
                     tb.atom_ops += 16.0 * n_f / 32.0; // warp atomics in L2
                 }
             }
+            scratch.recycle_usize(windows_touched);
             tb
         });
         for tb in tbs {

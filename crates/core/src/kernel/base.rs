@@ -178,8 +178,11 @@ impl SpmmKernel for DtcKernel {
         // One TbWork per row window, built in parallel; windows are
         // independent and the reduction below walks them in window order, so
         // the trace (including the total-sector sum feeding the L2 estimate)
-        // is identical to a serial build.
-        let tbs = dtc_par::par_map_collect(self.metcf.num_windows(), |w| {
+        // is identical to a serial build. Shards are cut at nnz-weighted
+        // points so skewed matrices don't serialize on one worker.
+        let weights = self.metcf.window_nnz_weights();
+        let plan = dtc_par::ShardPlan::weighted(dtc_par::num_threads(), &weights);
+        let tbs = dtc_par::par_map_collect_plan(&plan, |w, _scratch| {
             let mut tb = TbWork {
                 overlap_a_fetch: self.opts.sdb,
                 epilogue_sectors: 16.0 * b_row_sectors,

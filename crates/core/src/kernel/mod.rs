@@ -29,7 +29,11 @@ pub(crate) fn execute_metcf(
     if n == 0 {
         return c;
     }
-    dtc_par::par_chunks_mut(c.as_mut_slice(), WINDOW_HEIGHT * n, |w, strip| {
+    // A window's strip costs ~(nnz + blocks) regardless of which worker
+    // runs it; nnz-weighted shard cuts plus chunk stealing keep skewed
+    // matrices from serializing on the heavy windows.
+    let weights = metcf.window_nnz_weights();
+    dtc_par::par_chunks_mut_weighted(c.as_mut_slice(), WINDOW_HEIGHT * n, &weights, |w, strip| {
         execute_window(metcf, b, precision, w, strip, n);
     });
     c

@@ -70,10 +70,11 @@ impl Selector {
     /// scheduling one thread block per row window (duration = its TC-block
     /// count) under the eq. (1) policy model.
     pub fn makespan_base(&self, window_block_counts: &[usize], device: &Device) -> f64 {
-        // Candidate lowering fans out over threads (order-preserving, so the
-        // duration sequence — and therefore the decision — is independent of
-        // the thread count); the eq. (1) policy replay itself is inherently
-        // sequential, as each placement depends on all earlier finishes.
+        // Candidate lowering fans out over threads (slot-indexed results, so
+        // the duration sequence — and therefore the decision — is independent
+        // of the thread count and of the steal schedule); the eq. (1) policy
+        // replay itself is inherently sequential, as each placement depends
+        // on all earlier finishes.
         let durations: Vec<f64> =
             dtc_par::par_map_collect(window_block_counts.len(), |i| window_block_counts[i] as f64);
         schedule(device, self.occupancy, &durations).makespan_cycles

@@ -255,8 +255,10 @@ impl CsrMatrix {
         // Row-parallel: each output row is owned by exactly one chunk and
         // accumulated in the serial entry order, so any thread count yields
         // bit-identical results (this is also the cuSPARSE/Sputnik row-split
-        // decomposition the baselines model).
-        dtc_par::par_chunks_mut(c.as_mut_slice(), n, |r, out| {
+        // decomposition the baselines model). Shard cut points follow the
+        // per-row nnz so power-law rows don't pile onto one worker.
+        let weights: Vec<u64> = (0..self.rows).map(|r| self.row_len(r) as u64).collect();
+        dtc_par::par_chunks_mut_weighted(c.as_mut_slice(), n, &weights, |r, out| {
             let (cols, vals) = self.row_entries(r);
             for (&col, &val) in cols.iter().zip(vals) {
                 let brow = b.row(col as usize);

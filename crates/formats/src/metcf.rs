@@ -191,6 +191,21 @@ impl MeTcfMatrix {
         (0..self.num_windows()).map(|w| self.window_block_count(w)).collect()
     }
 
+    /// Per-window cost estimates for `dtc_par::ShardPlan::weighted`: the
+    /// non-zeros plus TC blocks of each window (+1 floor so empty windows
+    /// still carry the loop-iteration cost). Both trace lowering and host
+    /// SpMM execution scale with this sum, so it is the shared shard weight
+    /// for every per-window parallel loop.
+    pub fn window_nnz_weights(&self) -> Vec<u64> {
+        (0..self.num_windows())
+            .map(|w| {
+                let blocks = self.window_blocks(w);
+                let nnz = self.tc_offset[blocks.end] - self.tc_offset[blocks.start];
+                nnz as u64 + blocks.len() as u64 + 1
+            })
+            .collect()
+    }
+
     /// `MeanNnzTC` for this matrix.
     pub fn mean_nnz_tc(&self) -> f64 {
         let blocks = self.num_tc_blocks();

@@ -129,20 +129,31 @@ impl Condensed {
         let rows = a.rows();
         let num_windows = rows.div_ceil(WINDOW_HEIGHT);
         // SGT condensing is embarrassingly parallel: each 16-row window
-        // reads only its own rows, and `par_map_collect` keeps window order,
-        // so the condensed form is identical for any thread count.
-        let windows = dtc_par::par_map_collect(num_windows, |w| {
+        // reads only its own rows, and results land in per-window slots,
+        // so the condensed form is identical for any thread count or steal
+        // schedule. Shards are cut at nnz quantiles (a window's cost tracks
+        // its non-zeros), column dedup stages through the worker's arena,
+        // and the output vectors are sized exactly before filling.
+        let row_ptr = a.row_ptr();
+        let window_nnz =
+            |w: usize| row_ptr[((w + 1) * WINDOW_HEIGHT).min(rows)] - row_ptr[w * WINDOW_HEIGHT];
+        let weights: Vec<u64> = (0..num_windows).map(|w| window_nnz(w) as u64).collect();
+        let plan = dtc_par::ShardPlan::weighted(dtc_par::num_threads(), &weights);
+        let windows = dtc_par::par_map_collect_plan(&plan, |w, scratch| {
             let start_row = w * WINDOW_HEIGHT;
             let end_row = (start_row + WINDOW_HEIGHT).min(rows);
-            // Gather and dedup columns.
-            let mut unique_cols: Vec<u32> = Vec::new();
+            // Gather and dedup columns in reused scratch, then copy out
+            // exactly sized (extend/sort over a fresh Vec would overshoot).
+            let mut col_stage = scratch.u32_buf();
             for r in start_row..end_row {
-                unique_cols.extend_from_slice(a.row_entries(r).0);
+                col_stage.extend_from_slice(a.row_entries(r).0);
             }
-            unique_cols.sort_unstable();
-            unique_cols.dedup();
+            col_stage.sort_unstable();
+            col_stage.dedup();
+            let unique_cols: Vec<u32> = col_stage.as_slice().to_vec();
+            scratch.recycle_u32(col_stage);
             // Build entries with compressed columns.
-            let mut entries: Vec<CondensedEntry> = Vec::new();
+            let mut entries: Vec<CondensedEntry> = Vec::with_capacity(window_nnz(w));
             for r in start_row..end_row {
                 let (cols, vals) = a.row_entries(r);
                 for (&c, &v) in cols.iter().zip(vals) {

@@ -138,12 +138,22 @@ impl TcaReorderer {
         let hasher = MinHasher::new(self.minhash_k, self.seed);
         // Per-row MinHash signatures and per-candidate exact Jaccard scores
         // are pure functions of their row(s); both passes fan out over
-        // threads with order-preserving collection, so the scored-pair list
-        // (and hence the merge heap) is identical to a serial pass.
-        let signatures: Vec<Vec<u64>> =
-            dtc_par::par_map_collect(a.rows(), |r| hasher.signature(a.row_entries(r).0));
+        // threads with slot-indexed collection, so the scored-pair list
+        // (and hence the merge heap) is identical to a serial pass at any
+        // thread count and under any steal schedule. Shards are cut at nnz
+        // quantiles: hashing/scoring cost tracks row length, and power-law
+        // inputs are exactly where reordering matters.
+        let row_weights: Vec<u64> =
+            (0..a.rows()).map(|r| a.row_entries(r).0.len() as u64).collect();
+        let signatures: Vec<Vec<u64>> = dtc_par::par_map_collect_weighted(&row_weights, |r| {
+            hasher.signature(a.row_entries(r).0)
+        });
         let candidates = lsh_candidate_pairs(&hasher, &signatures, &self.lsh);
-        let scored: Vec<ScoredPair> = dtc_par::par_map_collect(candidates.len(), |k| {
+        let pair_weights: Vec<u64> = candidates
+            .iter()
+            .map(|&(i, j)| (a.row_entries(i).0.len() + a.row_entries(j).0.len()) as u64)
+            .collect();
+        let scored: Vec<ScoredPair> = dtc_par::par_map_collect_weighted(&pair_weights, |k| {
             let (i, j) = candidates[k];
             ScoredPair { score: jaccard_sorted(a.row_entries(i).0, a.row_entries(j).0), i, j }
         })
@@ -164,15 +174,25 @@ impl TcaReorderer {
         let hasher = MinHasher::new(self.minhash_k, self.seed.wrapping_add(1));
         // Deduplicated column set per cluster (sorted) + its signature,
         // built per-cluster in parallel (each task reads only its own
-        // cluster's rows).
+        // cluster's rows). Clusters are weighted by their member nnz, and
+        // the dedup staging buffer is leased from the worker's arena — the
+        // only allocation a task keeps is the exact-size column set it
+        // returns.
+        let cluster_weights: Vec<u64> = clusters
+            .iter()
+            .map(|c| c.iter().map(|&r| a.row_entries(r).0.len() as u64).sum())
+            .collect();
+        let plan = dtc_par::ShardPlan::weighted(dtc_par::num_threads(), &cluster_weights);
         let per_cluster: Vec<(Vec<u32>, Vec<u64>)> =
-            dtc_par::par_map_collect(clusters.len(), |ci| {
-                let mut cols: Vec<u32> = Vec::new();
+            dtc_par::par_map_collect_plan(&plan, |ci, scratch| {
+                let mut stage = scratch.u32_buf();
                 for &r in &clusters[ci] {
-                    cols.extend_from_slice(a.row_entries(r).0);
+                    stage.extend_from_slice(a.row_entries(r).0);
                 }
-                cols.sort_unstable();
-                cols.dedup();
+                stage.sort_unstable();
+                stage.dedup();
+                let cols: Vec<u32> = stage.as_slice().to_vec();
+                scratch.recycle_u32(stage);
                 let sig = hasher.signature(&cols);
                 (cols, sig)
             });
@@ -192,7 +212,11 @@ impl TcaReorderer {
             max_bucket_pairs: self.lsh.max_bucket_pairs,
         };
         let candidates = lsh_candidate_pairs(&hasher, &cluster_sigs, &h2_lsh);
-        let scored: Vec<ScoredPair> = dtc_par::par_map_collect(candidates.len(), |k| {
+        let pair_weights: Vec<u64> = candidates
+            .iter()
+            .map(|&(i, j)| (cluster_cols[i].len() + cluster_cols[j].len()) as u64)
+            .collect();
+        let scored: Vec<ScoredPair> = dtc_par::par_map_collect_weighted(&pair_weights, |k| {
             let (i, j) = candidates[k];
             ScoredPair { score: jaccard_sorted(&cluster_cols[i], &cluster_cols[j]), i, j }
         })

@@ -137,8 +137,13 @@ pub fn l2_counts_over_trace(device: &Device, trace: &KernelTrace, threads: usize
     );
     let wave = (device.num_sms * trace.occupancy).max(1);
     let shards = threads.max(1).min(num_sets);
-    let per_shard: Vec<(u64, u64)> = dtc_par::par_map_collect_with(shards, shards, |shard| {
-        replay_shard(trace, wave, num_sets, ways, shard, shards)
+    // Shards own interleaved set residues, so their work is near-uniform; an
+    // even plan suffices. The replay's set tables and wave cursors lease
+    // worker-arena scratch — steady-state replay performs no heap
+    // allocation.
+    let plan = dtc_par::ShardPlan::even(shards, shards);
+    let per_shard: Vec<(u64, u64)> = dtc_par::par_map_collect_plan(&plan, |shard, scratch| {
+        replay_shard(trace, wave, num_sets, ways, shard, shards, scratch)
     });
     let mut hits = 0u64;
     let mut accesses = 0u64;
@@ -168,15 +173,14 @@ pub fn l2_shard_counts(
         "occupancy must be positive (legal occupancy is fixed at trace construction)"
     );
     let wave = (device.num_sms * trace.occupancy).max(1);
-    replay_shard(trace, wave, num_sets, ways, shard, num_shards)
+    dtc_par::with_arena(|scratch| {
+        replay_shard(trace, wave, num_sets, ways, shard, num_shards, scratch)
+    })
 }
 
-/// A thread block's replay position inside its encoded stream.
-#[derive(Clone, Copy)]
-struct TbPos {
-    run: usize,
-    offset: u64,
-}
+/// A thread block's replay position inside its encoded stream:
+/// `(run index, offset within run)`.
+type TbPos = (usize, u64);
 
 /// Consumes up to `budget` decoded positions from `runs` starting at `pos`,
 /// visiting — in stream order — only the addresses whose set index belongs
@@ -196,10 +200,10 @@ fn advance_chunk(
     mut visit: impl FnMut(u64),
 ) {
     while budget > 0 {
-        let Some(run) = runs.get(pos.run) else { return };
+        let Some(run) = runs.get(pos.0) else { return };
         let len = run.len as u64;
-        let take = (len - pos.offset).min(budget);
-        let a0 = run.start + pos.offset;
+        let take = (len - pos.1).min(budget);
+        let a0 = run.start + pos.1;
         let a1 = a0 + take;
         // Split at multiples of num_sets: the wrap changes the residue.
         let mut a = a0;
@@ -216,11 +220,11 @@ fn advance_chunk(
             }
             a = seg_end;
         }
-        pos.offset += take;
+        pos.1 += take;
         budget -= take;
-        if pos.offset == len {
-            pos.run += 1;
-            pos.offset = 0;
+        if pos.1 == len {
+            pos.0 += 1;
+            pos.1 = 0;
         }
     }
 }
@@ -234,11 +238,16 @@ fn replay_shard(
     ways: usize,
     shard: usize,
     num_shards: usize,
+    scratch: &mut dtc_par::ScratchArena,
 ) -> (u64, u64) {
     // Local storage for the shard's sets: global set `s` (with
     // `s % num_shards == shard`) lives at local index `s / num_shards`.
+    // Both the set table and the per-wave cursor list are leased from the
+    // worker's arena: repeated replays (tracelint sweeps, the Fig 13c
+    // ablation grid) reuse the same capacity instead of reallocating.
     let local_sets = (num_sets - shard).div_ceil(num_shards);
-    let mut sets: Vec<Vec<u64>> = vec![Vec::new(); local_sets];
+    let mut sets: Vec<Vec<u64>> = scratch.u64_table(local_sets);
+    let mut pos: Vec<TbPos> = scratch.pair_buf();
     let mut hits = 0u64;
     let mut accesses = 0u64;
 
@@ -246,12 +255,13 @@ fn replay_shard(
     let mut wave_start = 0usize;
     while wave_start < n {
         let wave_end = (wave_start + wave).min(n);
-        let mut pos = vec![TbPos { run: 0, offset: 0 }; wave_end - wave_start];
+        pos.clear();
+        pos.resize(wave_end - wave_start, (0, 0));
         loop {
             let mut progressed = false;
             for (j, p) in pos.iter_mut().enumerate() {
                 let runs = trace.stream(wave_start + j).runs();
-                if p.run >= runs.len() {
+                if p.0 >= runs.len() {
                     continue;
                 }
                 progressed = true;
@@ -285,6 +295,8 @@ fn replay_shard(
         }
         wave_start = wave_end;
     }
+    scratch.recycle_pair(pos);
+    scratch.recycle_u64_table(sets);
     (hits, accesses)
 }
 

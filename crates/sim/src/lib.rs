@@ -125,9 +125,15 @@ pub fn simulate(device: &Device, trace: &KernelTrace, options: &SimOptions) -> S
     let eff_occ = trace.occupancy.min(trace.num_tbs().div_ceil(device.num_sms.max(1)).max(1));
 
     // Per-class timing, fanned out over host threads. Each class's timing is
-    // a pure function of its own work fields, and `par_map_collect` returns
-    // results in class order, so expansion below is deterministic.
-    let class_timing: Vec<ClassTiming> = dtc_par::par_map_collect(trace.num_classes(), |c| {
+    // a pure function of its own work fields, and results land in their
+    // class-indexed slots, so expansion below is deterministic at any
+    // thread count. Event-driven replay costs O(iters) per class while the
+    // analytical path is O(1), so classes are weighted by their iteration
+    // count when cutting shards — one giant class can no longer serialize
+    // the timing pass.
+    let class_weights: Vec<u64> =
+        trace.classes().iter().map(|tb| tb.iters.max(0.0) as u64 + 1).collect();
+    let class_timing: Vec<ClassTiming> = dtc_par::par_map_collect_weighted(&class_weights, |c| {
         let tb = &trace.classes()[c];
         let stall =
             pipeline::tb_stall_cycles(device, eff_occ, trace.warps_per_tb, tb, effective_hit);
