@@ -48,9 +48,9 @@ fn dump(name: &str, report: &SimReport) {
 
 fn main() {
     let _metrics = dtc_bench::metrics_flush_guard();
-    let mut args = std::env::args().skip(1);
-    let abbr = args.next().unwrap_or_else(|| "DD".into());
-    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(128);
+    let args = dtc_bench::cli::Args::parse();
+    let abbr = args.positional(0).unwrap_or("DD").to_owned();
+    let n: usize = args.parsed(1, 128);
 
     let device = scaled_device(Device::rtx4090());
     let d = representative()

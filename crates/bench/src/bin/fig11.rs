@@ -145,12 +145,12 @@ fn extended_mode(device: &Device) {
 fn main() {
     let _metrics = dtc_bench::metrics_flush_guard();
     let device = scaled_device(Device::rtx4090());
-    let args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--suite") {
+    let args = dtc_bench::cli::Args::parse();
+    if args.flag("suite") {
         suite_mode(&device);
-    } else if args.iter().any(|a| a == "--extended") {
+    } else if args.flag("extended") {
         extended_mode(&device);
-    } else if args.iter().any(|a| a == "--avg") {
+    } else if args.flag("avg") {
         // The paper's figure averages N in {128, 256, 512}. Our TCGNN model's
         // window-scan cost is constant in N and amortizes faster than real
         // hardware at large N (see EXPERIMENTS.md), so the primary view is

@@ -27,7 +27,7 @@ const MASTER_SEED: u64 = 0xD7C5_B004;
 
 fn main() {
     let _metrics = dtc_bench::metrics_flush_guard();
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = dtc_bench::cli::Args::parse().smoke();
     let num_cases = if smoke { SMOKE_CASES } else { FULL_CASES };
 
     // A panicking kernel is a recorded failure, not a sweep abort; keep

@@ -27,7 +27,6 @@
 //! the JSON dump, and exits non-zero unless the 4-thread critical-path
 //! speedup reaches 1.5x — the CI scaling gate.
 
-use dtc_baselines::SpmmKernel;
 use dtc_core::{clear_conversion_cache, conversion_cache_stats, DtcSpmm};
 use dtc_formats::{gen, CsrMatrix, DenseMatrix};
 use std::time::Instant;
@@ -134,7 +133,7 @@ fn measure(a: &CsrMatrix, b: &DenseMatrix, sweep: &[usize], reps: usize) -> Vec<
 
 fn main() {
     let _metrics = dtc_bench::metrics_flush_guard();
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = dtc_bench::cli::Args::parse().smoke();
 
     // Representative of the paper's mid-size graph suite: power-law-ish
     // community structure (smaller in smoke mode, same shape).

@@ -64,7 +64,7 @@ fn time_simulate(device: &Device, trace: &KernelTrace, opts: &SimOptions) -> f64
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = dtc_bench::cli::Args::parse().smoke();
     let _metrics = dtc_bench::metrics_flush_guard();
     let device = Device::rtx4090();
     let blocks = if smoke { 2_000 } else { 50_000 };

@@ -110,8 +110,9 @@ fn lint_dataset(dataset: &Dataset, n: usize, device: &Device, report: &mut LintR
 
 fn main() {
     let _metrics = dtc_bench::metrics_flush_guard();
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let suite = std::env::args().any(|a| a == "--suite");
+    let args = dtc_bench::cli::Args::parse();
+    let smoke = args.smoke();
+    let suite = args.flag("suite");
     let device = scaled_device(Device::rtx4090());
 
     let (datasets, n) = if smoke {

@@ -12,6 +12,88 @@ use dtc_baselines::SpmmKernel;
 use dtc_datasets::Dataset;
 use dtc_sim::{Device, SimReport};
 
+pub mod cli {
+    //! Minimal shared argument parsing for the bench binaries.
+    //!
+    //! Every binary hand-rolled the same two patterns — `--flag` presence
+    //! checks and positional operands with defaults — each slightly
+    //! differently. This module is the one copy: `--`-prefixed tokens are
+    //! flags, everything else is positional, order independent.
+
+    /// Parsed command line: `--flags` and positional operands.
+    #[derive(Debug, Clone, Default)]
+    pub struct Args {
+        flags: Vec<String>,
+        positional: Vec<String>,
+    }
+
+    impl Args {
+        /// Parses the process arguments (skipping the binary name).
+        pub fn parse() -> Self {
+            Self::from_tokens(std::env::args().skip(1))
+        }
+
+        /// Parses an explicit token stream (for tests).
+        pub fn from_tokens(tokens: impl IntoIterator<Item = String>) -> Self {
+            let mut args = Args::default();
+            for tok in tokens {
+                match tok.strip_prefix("--") {
+                    Some(flag) => args.flags.push(flag.to_owned()),
+                    None => args.positional.push(tok),
+                }
+            }
+            args
+        }
+
+        /// Whether `--name` was passed (`name` given without the dashes).
+        pub fn flag(&self, name: &str) -> bool {
+            self.flags.iter().any(|f| f == name)
+        }
+
+        /// Whether `--smoke` was passed (the CI fast-path convention).
+        pub fn smoke(&self) -> bool {
+            self.flag("smoke")
+        }
+
+        /// The `i`-th positional operand.
+        pub fn positional(&self, i: usize) -> Option<&str> {
+            self.positional.get(i).map(String::as_str)
+        }
+
+        /// The `i`-th positional operand parsed as `T`, or `default` when
+        /// absent or unparseable.
+        pub fn parsed<T: std::str::FromStr>(&self, i: usize, default: T) -> T {
+            self.positional(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::Args;
+
+        fn args(tokens: &[&str]) -> Args {
+            Args::from_tokens(tokens.iter().map(|s| s.to_string()))
+        }
+
+        #[test]
+        fn flags_and_positionals_separate() {
+            let a = args(&["--smoke", "DD", "--verify", "128"]);
+            assert!(a.smoke());
+            assert!(a.flag("verify"));
+            assert!(!a.flag("suite"));
+            assert_eq!(a.positional(0), Some("DD"));
+            assert_eq!(a.parsed::<usize>(1, 0), 128);
+        }
+
+        #[test]
+        fn parsed_falls_back_on_missing_or_garbage() {
+            let a = args(&["notanumber"]);
+            assert_eq!(a.parsed::<usize>(0, 7), 7);
+            assert_eq!(a.parsed::<usize>(3, 9), 9);
+        }
+    }
+}
+
 /// Geometric mean of a sequence of positive values; 0 on empty input.
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

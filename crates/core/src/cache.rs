@@ -36,13 +36,17 @@ pub struct CachedConversion {
     pub distinct_cols: usize,
 }
 
-/// Identity material verified on every primary-key hit. Dims and nnz are
-/// stored outright; the three arrays are summarized by FNV-1a checksums
-/// seeded differently from [`matrix_key`], so a primary-key collision and
-/// a simultaneous three-checksum collision would need independent 64-bit
-/// coincidences.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct KeyMaterial {
+/// Matrix identity material, verified on every primary-key hit — and,
+/// since the `SpmmEngine` redesign, the public identity every prepared
+/// engine reports through [`crate::SpmmEngine::key`] so the serving layer
+/// can key its engine pool on it.
+///
+/// Dims and nnz are stored outright; the three arrays are summarized by
+/// FNV-1a checksums seeded differently from [`matrix_key`], so a
+/// primary-key collision and a simultaneous three-checksum collision would
+/// need independent 64-bit coincidences.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KeyMaterial {
     rows: usize,
     cols: usize,
     nnz: usize,
@@ -81,7 +85,9 @@ fn fnv1a_slice<T: Sync>(seed: u64, data: &[T], proj: impl Fn(&T) -> u64 + Sync) 
 }
 
 impl KeyMaterial {
-    fn of(a: &CsrMatrix) -> Self {
+    /// Computes the identity material of a matrix (three chunked-parallel
+    /// checksum passes; digests are independent of `DTC_THREADS`).
+    pub fn of(a: &CsrMatrix) -> Self {
         // Distinct offset bases decorrelate the checksums from the primary
         // key (all use the same FNV prime over the same streams).
         KeyMaterial {
@@ -92,6 +98,40 @@ impl KeyMaterial {
             col_idx_sum: fnv1a_slice(0xdead_beef_cafe_f00d, a.col_idx(), |&c| c as u64),
             value_sum: fnv1a_slice(0x0123_4567_89ab_cdef, a.values(), |v| v.to_bits() as u64),
         }
+    }
+
+    /// Rows of the identified matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the identified matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Structural non-zeros of the identified matrix.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// A single 64-bit digest of the full material (dims, nnz and all
+    /// three checksums), for callers that bucket by one word and verify
+    /// with the full `KeyMaterial` equality — the conversion cache's and
+    /// the serve pool's discipline.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(
+            0xa135_2969_7a6b_11c4,
+            [
+                self.rows as u64,
+                self.cols as u64,
+                self.nnz as u64,
+                self.row_ptr_sum,
+                self.col_idx_sum,
+                self.value_sum,
+            ]
+            .into_iter(),
+        )
     }
 }
 

@@ -1,0 +1,123 @@
+//! The shared engine configuration both builders wrap.
+//!
+//! [`crate::DtcSpmmBuilder`] and [`crate::IterativeSpmmBuilder`] used to
+//! carry duplicated `device`/`precision`/`reorder` fields (and the pipeline
+//! builder additionally `opts`/`selector`/`force`). [`EngineConfig`] is the
+//! single struct holding every *hashable* knob, so the serving layer can
+//! fold a tenant's configuration into its pool key with
+//! [`EngineConfig::fingerprint`]: two tenants asking for the same matrix
+//! under different precisions or kernel options must get different pooled
+//! engines. Non-hashable parts (the boxed reorder algorithm, the boxed
+//! comparator baseline) stay on the individual builders.
+
+use crate::kernel::KernelOpts;
+use crate::selector::{KernelChoice, Selector};
+use dtc_formats::Precision;
+use dtc_sim::Device;
+
+/// Every hashable knob of an engine build, shared by the pipeline and
+/// session builders and hashed into serving-layer pool keys.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Target device for the Selector's makespan model and simulation.
+    pub device: Device,
+    /// Tensor-Core input precision.
+    pub precision: Precision,
+    /// Whether the offline TCU-Cache-Aware reordering step runs.
+    pub reorder: bool,
+    /// Runtime-kernel optimization flags (SMB/IP/SDB/VFD).
+    pub opts: KernelOpts,
+    /// Selector configuration (AR threshold, modeled occupancy).
+    pub selector: Selector,
+    /// Fixed kernel choice bypassing the Selector, if any.
+    pub force: Option<KernelChoice>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            device: Device::rtx4090(),
+            precision: Precision::Tf32,
+            reorder: false,
+            opts: KernelOpts::all(),
+            selector: Selector::default(),
+            force: None,
+        }
+    }
+}
+
+/// FNV-1a over a `u64` stream.
+fn fnv1a(seed: u64, stream: impl Iterator<Item = u64>) -> u64 {
+    let mut h = seed;
+    for x in stream {
+        h ^= x;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl EngineConfig {
+    /// A structural 64-bit fingerprint over every field: any knob change
+    /// moves the digest, so a pool keyed on it never serves one tenant an
+    /// engine built under another tenant's configuration.
+    pub fn fingerprint(&self) -> u64 {
+        let precision = match self.precision {
+            Precision::Tf32 => 1u64,
+            Precision::Fp16 => 2,
+            Precision::Bf16 => 3,
+        };
+        let opts = (self.opts.smb as u64)
+            | (self.opts.ip as u64) << 1
+            | (self.opts.sdb as u64) << 2
+            | (self.opts.vfd as u64) << 3;
+        let force = match self.force {
+            None => 0u64,
+            Some(KernelChoice::Base) => 1,
+            Some(KernelChoice::Balanced) => 2,
+        };
+        fnv1a(
+            0x9e37_79b9_7f4a_7c15,
+            [
+                self.device.fingerprint(),
+                precision,
+                self.reorder as u64,
+                opts,
+                self.selector.threshold.to_bits(),
+                self.selector.occupancy as u64,
+                force,
+            ]
+            .into_iter(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_moves_with_every_knob() {
+        let base = EngineConfig::default();
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+
+        let c = EngineConfig { precision: Precision::Fp16, ..EngineConfig::default() };
+        assert_ne!(c.fingerprint(), base.fingerprint());
+
+        let c = EngineConfig { reorder: true, ..EngineConfig::default() };
+        assert_ne!(c.fingerprint(), base.fingerprint());
+
+        let mut c = EngineConfig::default();
+        c.opts.sdb = false;
+        assert_ne!(c.fingerprint(), base.fingerprint());
+
+        let mut c = EngineConfig::default();
+        c.selector.threshold = 1.5;
+        assert_ne!(c.fingerprint(), base.fingerprint());
+
+        let c = EngineConfig { force: Some(KernelChoice::Balanced), ..EngineConfig::default() };
+        assert_ne!(c.fingerprint(), base.fingerprint());
+
+        let c = EngineConfig { device: Device::rtx3090(), ..EngineConfig::default() };
+        assert_ne!(c.fingerprint(), base.fingerprint());
+    }
+}

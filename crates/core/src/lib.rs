@@ -27,7 +27,7 @@
 //! use dtc_formats::{gen::power_law, DenseMatrix};
 //! use dtc_sim::Device;
 //!
-//! # fn main() -> Result<(), dtc_formats::FormatError> {
+//! # fn main() -> Result<(), dtc_core::DtcError> {
 //! let a = power_law(256, 256, 8.0, 2.2, 3);
 //! let engine = DtcSpmm::builder().reorder(true).build(&a);
 //! let b = DenseMatrix::ones(256, 64);
@@ -43,7 +43,10 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod config;
 pub mod convert;
+mod engine;
+mod error;
 pub mod kernel;
 pub mod mma;
 mod pipeline;
@@ -51,7 +54,12 @@ mod selector;
 mod session;
 mod telemetry;
 
-pub use cache::{clear_conversion_cache, conversion_cache_stats};
+pub use cache::{clear_conversion_cache, conversion_cache_stats, KeyMaterial};
+pub use config::EngineConfig;
+pub use engine::{prepare, BaselineEngine, EngineKind, SpmmEngine};
+pub use error::DtcError;
+#[allow(deprecated)]
+pub use error::EngineError;
 pub use kernel::{BalancedDtcKernel, DtcKernel, KernelOpts};
 pub use pipeline::{DtcSpmm, DtcSpmmBuilder};
 pub use selector::{KernelChoice, Selector, SelectorDecision};

@@ -2,6 +2,10 @@
 //! reordering → ME-TCF conversion → simulation-based selection → runtime
 //! kernel.
 
+use crate::cache::KeyMaterial;
+use crate::config::EngineConfig;
+use crate::engine::SpmmEngine;
+use crate::error::DtcError;
 use crate::kernel::{BalancedDtcKernel, DtcKernel, KernelOpts};
 use crate::selector::{KernelChoice, Selector, SelectorDecision};
 use dtc_baselines::SpmmKernel;
@@ -11,27 +15,18 @@ use dtc_sim::{Device, KernelTrace};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-/// Builder for a [`DtcSpmm`] engine.
+/// Builder for a [`DtcSpmm`] engine: a shared [`EngineConfig`] (every
+/// hashable knob) plus the boxed reordering algorithm.
 pub struct DtcSpmmBuilder {
-    reorder: bool,
+    config: EngineConfig,
     reorderer: Box<dyn Reorderer>,
-    opts: KernelOpts,
-    precision: Precision,
-    selector: Selector,
-    device: Device,
-    force: Option<KernelChoice>,
 }
 
 impl std::fmt::Debug for DtcSpmmBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DtcSpmmBuilder")
-            .field("reorder", &self.reorder)
+            .field("config", &self.config)
             .field("reorderer", &self.reorderer.name())
-            .field("opts", &self.opts)
-            .field("precision", &self.precision)
-            .field("selector", &self.selector)
-            .field("device", &self.device.name)
-            .field("force", &self.force)
             .finish()
     }
 }
@@ -39,58 +34,65 @@ impl std::fmt::Debug for DtcSpmmBuilder {
 impl Default for DtcSpmmBuilder {
     fn default() -> Self {
         DtcSpmmBuilder {
-            reorder: false,
+            config: EngineConfig::default(),
             reorderer: Box::new(TcaReorderer::default()),
-            opts: KernelOpts::all(),
-            precision: Precision::Tf32,
-            selector: Selector::default(),
-            device: Device::rtx4090(),
-            force: None,
         }
     }
 }
 
 impl DtcSpmmBuilder {
+    /// Replaces the whole shared configuration at once (the serving layer
+    /// builds pool engines from a tenant's [`EngineConfig`] directly).
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The current shared configuration.
+    pub fn engine_config(&self) -> &EngineConfig {
+        &self.config
+    }
+
     /// Enables the (optional, offline) TCU-Cache-Aware reordering step.
     pub fn reorder(mut self, enabled: bool) -> Self {
-        self.reorder = enabled;
+        self.config.reorder = enabled;
         self
     }
 
     /// Replaces the reordering algorithm (implies `reorder(true)`).
     pub fn reorderer(mut self, r: Box<dyn Reorderer>) -> Self {
         self.reorderer = r;
-        self.reorder = true;
+        self.config.reorder = true;
         self
     }
 
     /// Sets the runtime-kernel optimization flags.
     pub fn opts(mut self, opts: KernelOpts) -> Self {
-        self.opts = opts;
+        self.config.opts = opts;
         self
     }
 
     /// Sets the Tensor-Core input precision (default TF32; §7 extension).
     pub fn precision(mut self, precision: Precision) -> Self {
-        self.precision = precision;
+        self.config.precision = precision;
         self
     }
 
     /// Sets the Selector configuration.
     pub fn selector(mut self, selector: Selector) -> Self {
-        self.selector = selector;
+        self.config.selector = selector;
         self
     }
 
     /// Sets the target device for the Selector's makespan model.
     pub fn device(mut self, device: Device) -> Self {
-        self.device = device;
+        self.config.device = device;
         self
     }
 
     /// Bypasses the Selector with a fixed kernel choice.
     pub fn force_kernel(mut self, choice: KernelChoice) -> Self {
-        self.force = Some(choice);
+        self.config.force = Some(choice);
         self
     }
 
@@ -103,9 +105,10 @@ impl DtcSpmmBuilder {
     pub fn build(self, a: &CsrMatrix) -> DtcSpmm {
         let _build = dtc_telemetry::span("pipeline.build");
         crate::telemetry::pipeline_builds().incr();
+        let key = KeyMaterial::of(a);
         let (perm, working) = {
             let _phase = dtc_telemetry::span("reorder");
-            if self.reorder {
+            if self.config.reorder {
                 let perm = self.reorderer.reorder(a);
                 let m = a.permute_rows(&perm);
                 (Some(perm), m)
@@ -121,20 +124,21 @@ impl DtcSpmmBuilder {
         let distinct = converted.distinct_cols;
         let decision = {
             let _phase = dtc_telemetry::span("select");
-            self.selector.decide(&metcf, &self.device)
+            self.config.selector.decide(&metcf, &self.config.device)
         };
-        let choice = self.force.unwrap_or(decision.choice);
+        let choice = self.config.force.unwrap_or(decision.choice);
         let _phase = dtc_telemetry::span("lower");
         let kernel: DtcAnyKernel = match choice {
             KernelChoice::Base => DtcAnyKernel::Base(
-                DtcKernel::from_metcf(metcf, distinct, self.opts).with_precision(self.precision),
+                DtcKernel::from_metcf(metcf, distinct, self.config.opts)
+                    .with_precision(self.config.precision),
             ),
             KernelChoice::Balanced => DtcAnyKernel::Balanced(
-                BalancedDtcKernel::from_metcf(metcf, distinct, self.opts)
-                    .with_precision(self.precision),
+                BalancedDtcKernel::from_metcf(metcf, distinct, self.config.opts)
+                    .with_precision(self.config.precision),
             ),
         };
-        DtcSpmm { perm, kernel, decision, choice, trace_cache: Mutex::new(HashMap::new()) }
+        DtcSpmm { perm, kernel, decision, choice, key, trace_cache: Mutex::new(HashMap::new()) }
     }
 }
 
@@ -164,6 +168,9 @@ pub struct DtcSpmm {
     kernel: DtcAnyKernel,
     decision: SelectorDecision,
     choice: KernelChoice,
+    /// Identity of the source matrix (pre-reordering), reported through
+    /// [`SpmmEngine::key`] so serving pools recognize the matrix.
+    key: KeyMaterial,
     /// Memoized kernel traces, keyed by (N, device fingerprint,
     /// record_b_addrs): repeated `simulate` calls on one engine re-lower
     /// the kernel zero times.
@@ -204,6 +211,75 @@ impl DtcSpmm {
             DtcAnyKernel::Balanced(k) => k.metcf(),
         }
     }
+
+    /// Identity of the source matrix this engine was built from.
+    pub fn key(&self) -> &KeyMaterial {
+        &self.key
+    }
+
+    // Inherent mirrors of the shared surface. `DtcSpmm` implements both
+    // `SpmmKernel` (kernel-level, `FormatError`) and `SpmmEngine`
+    // (engine-level, `DtcError`); inherent methods win method resolution,
+    // so call sites with both traits in scope stay unambiguous.
+
+    /// Display name of the chosen kernel.
+    pub fn name(&self) -> &str {
+        SpmmKernel::name(self)
+    }
+
+    /// Rows of the sparse operand.
+    pub fn rows(&self) -> usize {
+        self.kernel.as_kernel().rows()
+    }
+
+    /// Columns of the sparse operand.
+    pub fn cols(&self) -> usize {
+        self.kernel.as_kernel().cols()
+    }
+
+    /// Structural non-zeros of the sparse operand.
+    pub fn nnz(&self) -> usize {
+        self.kernel.as_kernel().nnz()
+    }
+
+    /// Simulated performance for an `N`-column dense operand.
+    pub fn simulate(&self, n: usize, device: &Device) -> dtc_sim::SimReport {
+        SpmmKernel::simulate(self, n, device)
+    }
+
+    /// Lowered per-thread-block trace for an `N`-column dense operand.
+    pub fn trace(&self, n: usize, device: &Device, record_b_addrs: bool) -> KernelTrace {
+        SpmmKernel::trace(self, n, device, record_b_addrs)
+    }
+
+    /// Exact SpMM `C = A × B`, returning the unified [`DtcError`].
+    ///
+    /// This inherent method is the engine-level entry point (it shadows
+    /// the [`SpmmKernel`] trait method of the same name, which keeps the
+    /// kernel-level [`FormatError`] signature for `dyn SpmmKernel` users).
+    ///
+    /// # Errors
+    ///
+    /// [`DtcError::Format`] on dimension mismatches.
+    pub fn execute(&self, b: &DenseMatrix) -> Result<DenseMatrix, DtcError> {
+        self.execute_inner(b).map_err(DtcError::from)
+    }
+
+    /// The shared execution path: run the chosen kernel, then undo the row
+    /// permutation so callers see original row order.
+    fn execute_inner(&self, b: &DenseMatrix) -> Result<DenseMatrix, FormatError> {
+        let c = self.kernel.as_kernel().execute(b)?;
+        Ok(match &self.perm {
+            None => c,
+            Some(perm) => {
+                let mut out = DenseMatrix::zeros(c.rows(), c.cols());
+                for (new_row, &orig_row) in perm.iter().enumerate() {
+                    out.row_mut(orig_row).copy_from_slice(c.row(new_row));
+                }
+                out
+            }
+        })
+    }
 }
 
 impl SpmmKernel for DtcSpmm {
@@ -227,18 +303,7 @@ impl SpmmKernel for DtcSpmm {
     }
 
     fn execute(&self, b: &DenseMatrix) -> Result<DenseMatrix, FormatError> {
-        let c = self.kernel.as_kernel().execute(b)?;
-        // Undo the row permutation so callers see original row order.
-        Ok(match &self.perm {
-            None => c,
-            Some(perm) => {
-                let mut out = DenseMatrix::zeros(c.rows(), c.cols());
-                for (new_row, &orig_row) in perm.iter().enumerate() {
-                    out.row_mut(orig_row).copy_from_slice(c.row(new_row));
-                }
-                out
-            }
-        })
+        self.execute_inner(b)
     }
 
     fn trace(&self, n: usize, device: &Device, record_b_addrs: bool) -> KernelTrace {
@@ -255,6 +320,36 @@ impl SpmmKernel for DtcSpmm {
         let trace = self.kernel.as_kernel().trace(n, device, record_b_addrs);
         self.trace_cache.lock().unwrap().insert(key, trace.clone());
         trace
+    }
+}
+
+impl SpmmEngine for DtcSpmm {
+    fn name(&self) -> &str {
+        SpmmKernel::name(self)
+    }
+
+    fn rows(&self) -> usize {
+        SpmmKernel::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        SpmmKernel::cols(self)
+    }
+
+    fn nnz(&self) -> usize {
+        SpmmKernel::nnz(self)
+    }
+
+    fn key(&self) -> &KeyMaterial {
+        &self.key
+    }
+
+    fn execute(&self, b: &DenseMatrix) -> Result<DenseMatrix, DtcError> {
+        DtcSpmm::execute(self, b)
+    }
+
+    fn trace(&self, n: usize, device: &Device, record_b_addrs: bool) -> KernelTrace {
+        SpmmKernel::trace(self, n, device, record_b_addrs)
     }
 }
 

@@ -14,11 +14,16 @@
 //! break-even iteration count against the conversion-free cuSPARSE
 //! baseline, recommending an engine for a given workload length.
 
+use crate::cache::KeyMaterial;
+use crate::config::EngineConfig;
 use crate::convert::simulated_gpu_conversion_ms_for;
+use crate::engine::SpmmEngine;
+use crate::error::DtcError;
 use crate::{DtcSpmm, SpmmKernel};
 use dtc_baselines::CusparseSpmm;
-use dtc_formats::{CsrMatrix, DenseMatrix, FormatError, Precision};
-use dtc_sim::Device;
+use dtc_formats::{CsrMatrix, DenseMatrix, Precision};
+use dtc_sim::{Device, KernelTrace};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which engine the amortization analysis recommends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,85 +69,84 @@ impl AmortizationReport {
     }
 }
 
-/// Builder for an [`IterativeSpmm`] session, mirroring
-/// [`crate::DtcSpmmBuilder`]: device, precision and reordering flow into
-/// the underlying engine, and the comparator baseline is any
-/// [`SpmmKernel`] (the conversion-free [`CusparseSpmm`] by default, per
-/// §6's framing).
+/// Builder for an [`IterativeSpmm`] session: since the `EngineConfig`
+/// consolidation it wraps the same shared [`EngineConfig`] as
+/// [`crate::DtcSpmmBuilder`] (device, precision, reordering, kernel opts,
+/// Selector, forced choice all flow into the underlying engine), plus the
+/// one non-hashable knob: the comparator baseline the amortization
+/// analysis races against (the conversion-free [`CusparseSpmm`] by
+/// default, per §6's framing).
+#[derive(Default)]
 pub struct IterativeSpmmBuilder {
-    device: Device,
-    precision: Precision,
-    reorder: bool,
-    baseline: Option<Box<dyn SpmmKernel>>,
+    config: EngineConfig,
+    baseline: Option<Box<dyn SpmmKernel + Send + Sync>>,
 }
 
 impl std::fmt::Debug for IterativeSpmmBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IterativeSpmmBuilder")
-            .field("device", &self.device.name)
-            .field("precision", &self.precision)
-            .field("reorder", &self.reorder)
+            .field("config", &self.config)
             .field("baseline", &self.baseline.as_ref().map(|b| b.name().to_string()))
             .finish()
     }
 }
 
-impl Default for IterativeSpmmBuilder {
-    fn default() -> Self {
-        IterativeSpmmBuilder {
-            device: Device::rtx4090(),
-            precision: Precision::Tf32,
-            reorder: false,
-            baseline: None,
-        }
-    }
-}
-
 impl IterativeSpmmBuilder {
+    /// Replaces the whole shared configuration at once.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The current shared configuration.
+    pub fn engine_config(&self) -> &EngineConfig {
+        &self.config
+    }
+
     /// Sets the device both engines are simulated on.
     pub fn device(mut self, device: Device) -> Self {
-        self.device = device;
+        self.config.device = device;
         self
     }
 
     /// Sets the DTC engine's Tensor-Core input precision.
     pub fn precision(mut self, precision: Precision) -> Self {
-        self.precision = precision;
+        self.config.precision = precision;
         self
     }
 
     /// Enables TCU-Cache-Aware reordering in the underlying engine.
     pub fn reorder(mut self, enabled: bool) -> Self {
-        self.reorder = enabled;
+        self.config.reorder = enabled;
         self
     }
 
     /// Replaces the comparator baseline the amortization analysis races
     /// against (default: [`CusparseSpmm`] over the same matrix).
-    pub fn baseline(mut self, baseline: Box<dyn SpmmKernel>) -> Self {
+    pub fn baseline(mut self, baseline: Box<dyn SpmmKernel + Send + Sync>) -> Self {
         self.baseline = Some(baseline);
         self
     }
 
     /// Builds the session (pays the one-time conversion + selection now).
     pub fn build(self, a: &CsrMatrix) -> IterativeSpmm {
-        let engine = DtcSpmm::builder()
-            .device(self.device.clone())
-            .precision(self.precision)
-            .reorder(self.reorder)
-            .build(a);
+        let device = self.config.device.clone();
+        let engine = DtcSpmm::builder().config(self.config).build(a);
         let baseline = self.baseline.unwrap_or_else(|| Box::new(CusparseSpmm::new(a)));
-        IterativeSpmm { engine, baseline, device: self.device, runs: 0 }
+        IterativeSpmm { engine, baseline, device, runs: AtomicU64::new(0) }
     }
 }
 
 /// A fixed-matrix SpMM session: conversion happens once, every
 /// [`IterativeSpmm::execute`] reuses it.
+///
+/// The run counter is atomic so `execute` takes `&self` — a pooled session
+/// can serve concurrent requests through the [`SpmmEngine`] trait.
 pub struct IterativeSpmm {
     engine: DtcSpmm,
-    baseline: Box<dyn SpmmKernel>,
+    baseline: Box<dyn SpmmKernel + Send + Sync>,
     device: Device,
-    runs: u64,
+    runs: AtomicU64,
 }
 
 impl std::fmt::Debug for IterativeSpmm {
@@ -180,16 +184,16 @@ impl IterativeSpmm {
 
     /// Number of SpMMs executed so far.
     pub fn runs(&self) -> u64 {
-        self.runs
+        self.runs.load(Ordering::Relaxed)
     }
 
     /// Executes one SpMM iteration.
     ///
     /// # Errors
     ///
-    /// Propagates dimension mismatches.
-    pub fn execute(&mut self, b: &DenseMatrix) -> Result<DenseMatrix, FormatError> {
-        self.runs += 1;
+    /// Propagates dimension mismatches as [`DtcError::Format`].
+    pub fn execute(&self, b: &DenseMatrix) -> Result<DenseMatrix, DtcError> {
+        self.runs.fetch_add(1, Ordering::Relaxed);
         self.engine.execute(b)
     }
 
@@ -212,7 +216,37 @@ impl IterativeSpmm {
 
     /// Cumulative simulated GPU time of the session so far (setup + runs).
     pub fn simulated_total_ms(&self, n: usize) -> f64 {
-        self.amortization(n).dtc_total_ms(self.runs)
+        self.amortization(n).dtc_total_ms(self.runs())
+    }
+}
+
+impl SpmmEngine for IterativeSpmm {
+    fn name(&self) -> &str {
+        SpmmKernel::name(&self.engine)
+    }
+
+    fn rows(&self) -> usize {
+        SpmmKernel::rows(&self.engine)
+    }
+
+    fn cols(&self) -> usize {
+        SpmmKernel::cols(&self.engine)
+    }
+
+    fn nnz(&self) -> usize {
+        SpmmKernel::nnz(&self.engine)
+    }
+
+    fn key(&self) -> &KeyMaterial {
+        self.engine.key()
+    }
+
+    fn execute(&self, b: &DenseMatrix) -> Result<DenseMatrix, DtcError> {
+        IterativeSpmm::execute(self, b)
+    }
+
+    fn trace(&self, n: usize, device: &Device, record_b_addrs: bool) -> KernelTrace {
+        SpmmKernel::trace(&self.engine, n, device, record_b_addrs)
     }
 }
 
@@ -224,7 +258,7 @@ mod tests {
     #[test]
     fn session_counts_runs_and_preserves_results() {
         let a = web(512, 512, 8.0, 2.1, 0.7, 41);
-        let mut session = IterativeSpmm::new(&a, Device::rtx4090());
+        let session = IterativeSpmm::new(&a, Device::rtx4090());
         let b = DenseMatrix::ones(512, 16);
         let reference = a.spmm_reference(&b).unwrap();
         for _ in 0..3 {

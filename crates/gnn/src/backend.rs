@@ -62,11 +62,10 @@ impl GnnBackend for DtcGnnBackend {
     }
 
     fn spmm(&self, transpose: bool, b: &DenseMatrix) -> Result<DenseMatrix, FormatError> {
-        if transpose {
-            self.bwd.execute(b)
-        } else {
-            self.fwd.execute(b)
-        }
+        // Kernel-level path on purpose: the backend trait speaks
+        // FormatError (the engine-level DtcError belongs to dtc-serve).
+        let engine = if transpose { &self.bwd } else { &self.fwd };
+        SpmmKernel::execute(engine, b)
     }
 
     fn spmm_ms(&self, transpose: bool, n: usize, device: &Device) -> f64 {

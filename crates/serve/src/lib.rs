@@ -1,0 +1,81 @@
+//! `dtc-serve` — a multi-tenant SpMM serving layer over the unified
+//! [`SpmmEngine`](dtc_core::SpmmEngine) trait.
+//!
+//! DTC-SpMM's preprocessing (ME-TCF conversion, optional reordering,
+//! kernel selection) is worth paying **once per matrix**, not once per
+//! request. This crate turns the workspace's engines into a service:
+//!
+//! - [`EnginePool`] — prepared engines keyed by engine family +
+//!   [`EngineConfig`](dtc_core::EngineConfig)/device fingerprints + the
+//!   matrix's full [`KeyMaterial`](dtc_core::KeyMaterial) (every hit is
+//!   verified against the full key, so crafted fingerprint collisions
+//!   are served correctly, just slower). Concurrent requests for the same
+//!   key coalesce onto a single prepare; eviction is LRU with a warmup
+//!   pin (an engine is never evicted before it has repaid its
+//!   preparation with [`PoolConfig::warmup_uses`] uses).
+//! - [`SpmmServer`] — bounded admission in front of the pool. Queued
+//!   requests that share a pool key are coalesced into one N-column
+//!   SpMM (column concatenation is bitwise-exact for every kernel in the
+//!   workspace). With [`ServeConfig::verify`] set, each batch replays
+//!   the dtc-verify lints over the engine's lowered trace first.
+//! - [`loadgen`] — a deterministic virtual-clock closed-loop load
+//!   generator; `serve_bench` drives it to produce `BENCH_serve.json`.
+//!
+//! Telemetry: `serve.requests.{admitted,coalesced,rejected}`,
+//! `serve.pool.{hits,misses,evictions}` counters plus `serve.batch` /
+//! `serve.prepare` spans, all in the process-wide `dtc-telemetry`
+//! registry.
+//!
+//! # Example
+//!
+//! ```
+//! use dtc_core::{EngineConfig, EngineKind};
+//! use dtc_formats::DenseMatrix;
+//! use dtc_serve::{Request, ServeConfig, SpmmServer};
+//! use std::sync::Arc;
+//!
+//! let a = Arc::new(dtc_formats::gen::uniform(64, 64, 400, 7));
+//! let server = SpmmServer::new(ServeConfig::default());
+//! let c = server
+//!     .serve_one(Request {
+//!         tenant: 0,
+//!         kind: EngineKind::Dtc,
+//!         config: EngineConfig::default(),
+//!         matrix: Arc::clone(&a),
+//!         b: DenseMatrix::from_fn(64, 16, |r, c| (r + c) as f32),
+//!     })
+//!     .unwrap();
+//! assert_eq!(c.rows(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadgen;
+mod pool;
+mod server;
+mod telemetry;
+
+pub use pool::{EnginePool, Fetched, PoolConfig, PoolKey};
+pub use server::{BatchOutcome, Request, Response, SpmmServer};
+
+/// Server-wide configuration: queue bound, batch cap, pool sizing and the
+/// optional per-batch verification gate.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Engine-pool sizing and eviction policy.
+    pub pool: PoolConfig,
+    /// Admission-queue bound; requests beyond it are rejected.
+    pub max_queue: usize,
+    /// Most requests one batch may coalesce.
+    pub max_batch: usize,
+    /// Replay the dtc-verify lints over each batch's trace before
+    /// executing, failing the batch on any error-severity diagnostic.
+    pub verify: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { pool: PoolConfig::default(), max_queue: 256, max_batch: 16, verify: false }
+    }
+}

@@ -1,0 +1,373 @@
+//! The keyed engine pool: prepared [`SpmmEngine`]s cached across requests.
+//!
+//! Pool identity is the triple the paper's amortization argument needs:
+//! *which matrix* ([`KeyMaterial`], the verified conversion-cache identity
+//! from `dtc-core`), *which configuration*
+//! ([`EngineConfig::fingerprint`] — two tenants asking for the same matrix
+//! under different precisions must not share an engine), and *which
+//! device/engine family*. Entries are bucketed by a single 64-bit primary
+//! hash and **verified by full key equality on every hit** — the same
+//! discipline as the conversion cache, so a crafted primary-hash collision
+//! is detected and both engines coexist instead of one tenant silently
+//! receiving another tenant's engine.
+//!
+//! Concurrency: one prepare per key. Each slot holds an
+//! [`OnceLock`]; concurrent same-key requests all land on the same slot
+//! and `get_or_init` blocks the laggards while the first caller pays the
+//! (reorder → convert → select) build, so a thundering herd of identical
+//! requests costs exactly one conversion-cache miss.
+//!
+//! Eviction is LRU **with warmup pins**: an entry that has served fewer
+//! than [`PoolConfig::warmup_uses`] requests is still amortizing its
+//! conversion cost and cannot be evicted. If every resident entry is
+//! pinned and the pool is full, a new key is refused with
+//! [`DtcError::PoolExhausted`] rather than thrashing a cold engine.
+
+use dtc_core::{DtcError, EngineConfig, EngineKind, KeyMaterial, SpmmEngine};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Full pool identity of a prepared engine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PoolKey {
+    /// Engine family requested by the tenant.
+    pub kind: EngineKind,
+    /// [`dtc_sim::Device::fingerprint`] of the target device.
+    pub device: u64,
+    /// [`EngineConfig::fingerprint`] of the tenant's configuration.
+    pub config: u64,
+    /// Identity of the sparse matrix.
+    pub material: KeyMaterial,
+}
+
+impl PoolKey {
+    /// Builds the key for a tenant request.
+    pub fn new(kind: EngineKind, config: &EngineConfig, material: KeyMaterial) -> Self {
+        PoolKey {
+            kind,
+            device: config.device.fingerprint(),
+            config: config.fingerprint(),
+            material,
+        }
+    }
+
+    /// The 64-bit primary bucket hash (FNV-1a over all components). A
+    /// primary collision is survivable: buckets verify full key equality.
+    pub fn primary(&self) -> u64 {
+        let kind = match self.kind {
+            EngineKind::Dtc => 1u64,
+            EngineKind::Iterative => 2,
+            EngineKind::Cusparse => 3,
+            EngineKind::Sputnik => 4,
+            EngineKind::Tcgnn => 5,
+            _ => 0,
+        };
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for x in [kind, self.device, self.config, self.material.fingerprint()] {
+            h ^= x;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Pool sizing and eviction policy.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Maximum resident engines.
+    pub capacity: usize,
+    /// Requests an entry must serve before it becomes evictable (the
+    /// warmup pin): evicting an engine that has not yet amortized its
+    /// conversion cost only converts it again on the next request.
+    pub warmup_uses: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { capacity: 8, warmup_uses: 2 }
+    }
+}
+
+type EngineCell = Arc<OnceLock<Result<Arc<dyn SpmmEngine>, DtcError>>>;
+
+/// One resident entry.
+struct Slot {
+    key: PoolKey,
+    cell: EngineCell,
+    /// Requests served (including the preparing one).
+    uses: u64,
+    /// Recency tick of the last request.
+    last_use: u64,
+}
+
+struct Inner {
+    buckets: HashMap<u64, Vec<Slot>>,
+    len: usize,
+    tick: u64,
+}
+
+/// A successful pool fetch: the prepared engine plus whether it was
+/// already resident.
+pub struct Fetched {
+    /// The prepared engine (shared: the pool keeps its own reference).
+    pub engine: Arc<dyn SpmmEngine>,
+    /// `true` when the engine was already resident (no prepare paid).
+    pub hit: bool,
+}
+
+impl std::fmt::Debug for Fetched {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fetched")
+            .field("engine", &self.engine.name())
+            .field("hit", &self.hit)
+            .finish()
+    }
+}
+
+/// The engine pool. Cheap to share behind an `Arc`; all methods take
+/// `&self`.
+pub struct EnginePool {
+    config: PoolConfig,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for EnginePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnginePool")
+            .field("config", &self.config)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl EnginePool {
+    /// Creates an empty pool.
+    pub fn new(config: PoolConfig) -> Self {
+        EnginePool { config, inner: Mutex::new(Inner { buckets: HashMap::new(), len: 0, tick: 0 }) }
+    }
+
+    /// Resident engine count (including ones still preparing).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the engine for `key`, preparing (and inserting) on miss via
+    /// `build`. Concurrent calls with the same key coalesce into a single
+    /// `build`.
+    ///
+    /// # Errors
+    ///
+    /// [`DtcError::PoolExhausted`] when the pool is full of warmup-pinned
+    /// entries; whatever `build` returns when preparation fails (a failed
+    /// prepare is not cached — the next request retries).
+    pub fn get_or_prepare(
+        &self,
+        key: PoolKey,
+        build: impl FnOnce() -> Result<Box<dyn SpmmEngine>, DtcError>,
+    ) -> Result<Fetched, DtcError> {
+        self.fetch(key.primary(), key, build)
+    }
+
+    /// The pool core, keyed explicitly so tests can force primary-hash
+    /// collisions.
+    fn fetch(
+        &self,
+        primary: u64,
+        key: PoolKey,
+        build: impl FnOnce() -> Result<Box<dyn SpmmEngine>, DtcError>,
+    ) -> Result<Fetched, DtcError> {
+        let (cell, hit) = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            let bucket = inner.buckets.entry(primary).or_default();
+            if let Some(slot) = bucket.iter_mut().find(|s| s.key == key) {
+                slot.uses += 1;
+                slot.last_use = tick;
+                crate::telemetry::pool_hits().incr();
+                (Arc::clone(&slot.cell), true)
+            } else {
+                if inner.len >= self.config.capacity {
+                    self.evict_lru(&mut inner)?;
+                }
+                let cell: EngineCell = Arc::new(OnceLock::new());
+                inner.buckets.entry(primary).or_default().push(Slot {
+                    key: key.clone(),
+                    cell: Arc::clone(&cell),
+                    uses: 1,
+                    last_use: tick,
+                });
+                inner.len += 1;
+                crate::telemetry::pool_misses().incr();
+                (cell, false)
+            }
+        };
+        // Prepare outside the pool lock: other keys must not wait on this
+        // build, and same-key callers block on the OnceLock instead.
+        let result = cell
+            .get_or_init(|| {
+                let _span = dtc_telemetry::span("serve.prepare");
+                build().map(Arc::from)
+            })
+            .clone();
+        match result {
+            Ok(engine) => Ok(Fetched { engine, hit }),
+            Err(e) => {
+                // Drop the failed slot so the next request can retry.
+                let mut inner = self.inner.lock().unwrap();
+                if let Some(bucket) = inner.buckets.get_mut(&primary) {
+                    let before = bucket.len();
+                    bucket.retain(|s| !(s.key == key && Arc::ptr_eq(&s.cell, &cell)));
+                    inner.len -= before - bucket.len();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Evicts the least-recently-used entry whose warmup pin has expired.
+    fn evict_lru(&self, inner: &mut Inner) -> Result<(), DtcError> {
+        let mut victim: Option<(u64, u64, usize)> = None; // (last_use, bucket, idx)
+        for (&b, bucket) in inner.buckets.iter() {
+            for (i, slot) in bucket.iter().enumerate() {
+                if slot.uses < self.config.warmup_uses {
+                    continue; // still pinned by warmup
+                }
+                if victim.is_none_or(|(lu, _, _)| slot.last_use < lu) {
+                    victim = Some((slot.last_use, b, i));
+                }
+            }
+        }
+        match victim {
+            None => Err(DtcError::PoolExhausted { capacity: self.config.capacity }),
+            Some((_, b, i)) => {
+                let bucket = inner.buckets.get_mut(&b).expect("victim bucket exists");
+                bucket.remove(i);
+                if bucket.is_empty() {
+                    inner.buckets.remove(&b);
+                }
+                inner.len -= 1;
+                crate::telemetry::pool_evictions().incr();
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtc_formats::gen::uniform;
+    use dtc_formats::CsrMatrix;
+
+    fn key_of(a: &CsrMatrix, config: &EngineConfig) -> PoolKey {
+        PoolKey::new(EngineKind::Dtc, config, KeyMaterial::of(a))
+    }
+
+    fn prepare_dtc<'a>(
+        a: &'a CsrMatrix,
+        config: &EngineConfig,
+    ) -> impl FnOnce() -> Result<Box<dyn SpmmEngine>, DtcError> + 'a {
+        let config = config.clone();
+        move || dtc_core::prepare(EngineKind::Dtc, &config, a)
+    }
+
+    #[test]
+    fn same_key_hits_and_shares_the_engine() {
+        let pool = EnginePool::new(PoolConfig::default());
+        let config = EngineConfig::default();
+        let a = uniform(96, 96, 700, 9001);
+        let first = pool.get_or_prepare(key_of(&a, &config), prepare_dtc(&a, &config)).unwrap();
+        assert!(!first.hit);
+        let again = pool.get_or_prepare(key_of(&a, &config), prepare_dtc(&a, &config)).unwrap();
+        assert!(again.hit);
+        assert!(Arc::ptr_eq(&first.engine, &again.engine));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn distinct_configs_get_distinct_engines() {
+        let pool = EnginePool::new(PoolConfig::default());
+        let a = uniform(96, 96, 700, 9002);
+        let tf32 = EngineConfig::default();
+        let fp16 = EngineConfig { precision: dtc_core::Precision::Fp16, ..EngineConfig::default() };
+        let e1 = pool.get_or_prepare(key_of(&a, &tf32), prepare_dtc(&a, &tf32)).unwrap();
+        let e2 = pool.get_or_prepare(key_of(&a, &fp16), prepare_dtc(&a, &fp16)).unwrap();
+        assert!(!e2.hit, "different config fingerprint must be a different entry");
+        assert!(!Arc::ptr_eq(&e1.engine, &e2.engine));
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn crafted_primary_collision_is_served_correctly() {
+        // Two different matrices forced onto the SAME primary bucket: full
+        // key verification must keep them apart — tenant B must never
+        // receive tenant A's engine.
+        let pool = EnginePool::new(PoolConfig::default());
+        let config = EngineConfig::default();
+        let a = uniform(96, 96, 500, 9003);
+        let b = uniform(64, 64, 300, 9004);
+        let forced = 0xC011_1DED_C011_1DEDu64;
+        let ea = pool.fetch(forced, key_of(&a, &config), prepare_dtc(&a, &config)).unwrap();
+        let eb = pool.fetch(forced, key_of(&b, &config), prepare_dtc(&b, &config)).unwrap();
+        assert!(!eb.hit, "collision must be detected, not served");
+        assert_eq!(ea.engine.rows(), 96);
+        assert_eq!(eb.engine.rows(), 64, "B must get its own engine");
+        // Both now hit in the shared bucket.
+        assert!(pool.fetch(forced, key_of(&a, &config), prepare_dtc(&a, &config)).unwrap().hit);
+        assert!(pool.fetch(forced, key_of(&b, &config), prepare_dtc(&b, &config)).unwrap().hit);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn eviction_respects_warmup_pins() {
+        // capacity 2, warmup 2: entries become evictable after 2 uses.
+        let pool = EnginePool::new(PoolConfig { capacity: 2, warmup_uses: 2 });
+        let config = EngineConfig::default();
+        let a = uniform(64, 64, 300, 9005);
+        let b = uniform(64, 64, 300, 9006);
+        let c = uniform(64, 64, 300, 9007);
+        pool.get_or_prepare(key_of(&a, &config), prepare_dtc(&a, &config)).unwrap();
+        pool.get_or_prepare(key_of(&b, &config), prepare_dtc(&b, &config)).unwrap();
+        // Both cold (1 use each < warmup 2): a third key must be refused.
+        let err = pool.get_or_prepare(key_of(&c, &config), prepare_dtc(&c, &config)).unwrap_err();
+        assert!(matches!(err, DtcError::PoolExhausted { capacity: 2 }));
+        assert_eq!(pool.len(), 2);
+        // Warm A past its pin; B stays cold. Inserting C must now evict A
+        // (the only evictable entry), never the pinned B.
+        pool.get_or_prepare(key_of(&a, &config), prepare_dtc(&a, &config)).unwrap();
+        let fc = pool.get_or_prepare(key_of(&c, &config), prepare_dtc(&c, &config)).unwrap();
+        assert!(!fc.hit);
+        assert_eq!(pool.len(), 2);
+        // B survived the eviction (still resident = hit).
+        assert!(pool.get_or_prepare(key_of(&b, &config), prepare_dtc(&b, &config)).unwrap().hit);
+        // A was evicted (miss again). B's slot got warmed by the hit above,
+        // so the pool evicts it now rather than refusing.
+        assert!(!pool.get_or_prepare(key_of(&a, &config), prepare_dtc(&a, &config)).unwrap().hit);
+    }
+
+    #[test]
+    fn failed_prepare_is_not_cached() {
+        let pool = EnginePool::new(PoolConfig::default());
+        let config = EngineConfig::default();
+        // Non-square matrix: TCGNN preparation fails.
+        let a = uniform(64, 32, 128, 9008);
+        let key = PoolKey::new(EngineKind::Tcgnn, &config, KeyMaterial::of(&a));
+        let err = pool
+            .get_or_prepare(key.clone(), || dtc_core::prepare(EngineKind::Tcgnn, &config, &a))
+            .unwrap_err();
+        assert!(matches!(err, DtcError::Format(_)));
+        assert_eq!(pool.len(), 0, "failed prepare must not occupy a slot");
+        // A later request with a working builder succeeds under the same key.
+        let ok = pool
+            .get_or_prepare(key, || dtc_core::prepare(EngineKind::Cusparse, &config, &a))
+            .unwrap();
+        assert!(!ok.hit);
+        assert_eq!(ok.engine.rows(), 64);
+    }
+}

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(a.nnz(), generated.nnz());
 
     // 3. Iterative session: conversion paid once, then SpMM per iteration.
-    let mut session = IterativeSpmm::new(&a, Device::rtx4090());
+    let session = IterativeSpmm::new(&a, Device::rtx4090());
     let b = DenseMatrix::from_fn(a.cols(), 128, |r, c| ((r + c) % 9) as f32 * 0.1);
     for _ in 0..5 {
         let c = session.execute(&b)?;

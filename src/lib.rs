@@ -21,22 +21,27 @@
 //!   CI gate (resource legality, conservation laws, speed-of-light);
 //! - [`fuzz`] — the deterministic differential fuzzing harness behind the
 //!   `fuzz` CI gate (adversarial generators, f64 + TF32-envelope oracles,
-//!   shrinking to minimal reproducers).
+//!   shrinking to minimal reproducers);
+//! - [`serve`] — the multi-tenant serving layer: keyed engine pool,
+//!   admission/coalescing server and closed-loop load generator over the
+//!   unified [`SpmmEngine`](dtc_core::SpmmEngine) trait.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use dtc_spmm::core::{DtcSpmm, SpmmKernel};
+//! use dtc_spmm::core::{prepare, EngineConfig, EngineKind, SpmmEngine};
 //! use dtc_spmm::formats::{gen::power_law, DenseMatrix};
 //! use dtc_spmm::sim::Device;
 //!
-//! # fn main() -> Result<(), dtc_spmm::formats::FormatError> {
+//! # fn main() -> Result<(), dtc_spmm::core::DtcError> {
 //! // A sparse graph adjacency matrix and a dense feature matrix.
 //! let a = power_law(512, 512, 8.0, 2.2, 42);
 //! let b = DenseMatrix::ones(512, 128);
 //!
-//! // Build the DTC-SpMM engine: reorder -> convert to ME-TCF -> select kernel.
-//! let engine = DtcSpmm::builder().reorder(true).build(&a);
+//! // Prepare once behind the unified engine trait — reorder, convert to
+//! // ME-TCF, select a kernel — then execute as often as needed.
+//! let config = EngineConfig { reorder: true, ..EngineConfig::default() };
+//! let engine = prepare(EngineKind::Dtc, &config, &a)?;
 //!
 //! // Exact result (TF32-rounded multiplicands, FP32 accumulation).
 //! let c = engine.execute(&b)?;
@@ -80,6 +85,7 @@ pub use dtc_fuzz as fuzz;
 pub use dtc_gnn as gnn;
 pub use dtc_par as par;
 pub use dtc_reorder as reorder;
+pub use dtc_serve as serve;
 pub use dtc_sim as sim;
 pub use dtc_telemetry as telemetry;
 pub use dtc_verify as verify;
