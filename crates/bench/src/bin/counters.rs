@@ -74,7 +74,44 @@ fn main() {
     if let Ok(tcgnn) = TcgnnSpmm::new(&a) {
         dump("TCGNN-SpMM", &tcgnn.simulate_with(n, &device, &opts));
     }
+    dump_caches();
     dump_par();
+}
+
+/// Every cache in the stack, per tier: the totals (`core.cache.*`,
+/// `serve.pool.*` — each lookup counted once whichever tier resolved it)
+/// alongside the lossy front tier's own `cache.<name>.*` counters.
+fn dump_caches() {
+    println!(
+        "\n### caches (front tier {})",
+        if dtc_par::front_tier_enabled() { "on" } else { "off" }
+    );
+    let c = |name: &str| dtc_telemetry::counter(name).get();
+    println!(
+        "  conversion      {:10} hits / {} misses / {} collisions (total)",
+        c("core.cache.conversion.hits"),
+        c("core.cache.conversion.misses"),
+        c("core.cache.conversion.collisions")
+    );
+    println!(
+        "  trace           {:10} hits / {} misses (total)",
+        c("core.cache.trace.hits"),
+        c("core.cache.trace.misses")
+    );
+    for name in ["conversion", "trace", "intern", "pool"] {
+        let hits = c(&format!("cache.{name}.l1_hits"));
+        let misses = c(&format!("cache.{name}.l1_misses"));
+        if hits + misses == 0 {
+            continue; // tier never probed in this run
+        }
+        println!(
+            "  {name:<15} {hits:10} l1 hits / {} l1 misses / {} evictions / {} verify rejects ({:.0} ns/lookup sampled)",
+            misses,
+            c(&format!("cache.{name}.l1_evictions")),
+            c(&format!("cache.{name}.verify_rejects")),
+            dtc_telemetry::gauge(&format!("cache.{name}.ns_per_lookup")).get()
+        );
+    }
 }
 
 /// The host-side parallel substrate's own counters, accumulated over every

@@ -148,6 +148,29 @@ fn main() {
         l2_rows.push((threads, best_wall, wall_speedup, max_shard_ms, cp_speedup, sectors_per_sec));
     }
 
+    // Two-tier intern front cache: trace construction replays the same few
+    // dozen work classes, so the interner's lossy front tier should absorb
+    // most exact-map probes. End-to-end build-time delta, exact-only vs
+    // two-tier (class tables are identical either way).
+    let time_build = |enabled: bool| -> f64 {
+        dtc_par::set_front_tier_enabled(enabled);
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let t = synthetic_trace(blocks, shapes, false);
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(t.num_classes(), interned.num_classes(), "front tier changed interning");
+        }
+        best
+    };
+    let build_exact_ms = time_build(false);
+    let build_tiered_ms = time_build(true);
+    dtc_par::set_front_tier_enabled(true);
+    let intern_speedup = build_exact_ms / build_tiered_ms.max(1e-9);
+    eprintln!(
+        "  intern front tier: exact-only build {build_exact_ms:8.3} ms, two-tier {build_tiered_ms:8.3} ms  ({intern_speedup:.2}x)"
+    );
+
     // Memory: encoded trace vs the raw u64 sector addresses it replaces.
     let raw_stream_bytes = sectors * std::mem::size_of::<u64>();
     let trace_bytes = interned.memory_bytes();
@@ -189,7 +212,10 @@ fn main() {
             if i + 1 < l2_rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"intern_front_tier\": {{ \"exact_build_ms\": {build_exact_ms:.4}, \"two_tier_build_ms\": {build_tiered_ms:.4}, \"speedup\": {intern_speedup:.3} }}\n"
+    ));
     json.push_str("}\n");
     std::fs::write("BENCH_sim_perf.json", &json).expect("write BENCH_sim_perf.json");
     println!("wrote BENCH_sim_perf.json");

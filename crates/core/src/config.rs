@@ -13,6 +13,7 @@
 use crate::kernel::KernelOpts;
 use crate::selector::{KernelChoice, Selector};
 use dtc_formats::Precision;
+use dtc_par::hash::fnv1a;
 use dtc_sim::Device;
 
 /// Every hashable knob of an engine build, shared by the pipeline and
@@ -44,16 +45,6 @@ impl Default for EngineConfig {
             force: None,
         }
     }
-}
-
-/// FNV-1a over a `u64` stream.
-fn fnv1a(seed: u64, stream: impl Iterator<Item = u64>) -> u64 {
-    let mut h = seed;
-    for x in stream {
-        h ^= x;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
 }
 
 impl EngineConfig {

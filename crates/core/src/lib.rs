@@ -68,3 +68,9 @@ pub use session::{AmortizationReport, EngineRecommendation, IterativeSpmm, Itera
 // Re-exported so downstream users need only this crate for the common path.
 pub use dtc_baselines::SpmmKernel;
 pub use dtc_formats::Precision;
+
+// The workspace's shared FNV-1a module and the lossy verified front-tier
+// cache primitive (they live in `dtc-par` so `dtc-sim` and the serving
+// layer can use them without a dependency cycle).
+pub use dtc_par::hash;
+pub use dtc_par::{front_tier_enabled, set_front_tier_enabled, FrontTier};

@@ -10,10 +10,36 @@ use crate::kernel::{BalancedDtcKernel, DtcKernel, KernelOpts};
 use crate::selector::{KernelChoice, Selector, SelectorDecision};
 use dtc_baselines::SpmmKernel;
 use dtc_formats::{CsrMatrix, DenseMatrix, FormatError, MeTcfMatrix, Precision};
+use dtc_par::hash::fnv1a;
+use dtc_par::FrontTier;
 use dtc_reorder::{Reorderer, TcaReorderer};
 use dtc_sim::{Device, KernelTrace};
 use std::collections::HashMap;
 use std::sync::Mutex;
+
+/// Trace-cache key: (N, device fingerprint, record_b_addrs).
+type TraceKey = (usize, u64, bool);
+
+/// Per-engine two-tier trace cache: a lossy [`FrontTier`] (verified by the
+/// full [`TraceKey`]) in front of the exact map. Both under the engine's
+/// existing `Mutex`.
+#[derive(Debug)]
+struct TraceCache {
+    front: FrontTier<TraceKey, KernelTrace>,
+    exact: HashMap<TraceKey, KernelTrace>,
+}
+
+impl TraceCache {
+    fn new() -> Self {
+        // Engines see a handful of (N, device) pairs; 64 slots is plenty.
+        TraceCache { front: FrontTier::new("trace", 64), exact: HashMap::new() }
+    }
+}
+
+/// Word-wise FNV over the trace key for the front-tier slot.
+fn trace_front_hash(key: &TraceKey) -> u64 {
+    fnv1a(dtc_par::hash::FNV_OFFSET, [key.0 as u64, key.1, key.2 as u64].into_iter())
+}
 
 /// Builder for a [`DtcSpmm`] engine: a shared [`EngineConfig`] (every
 /// hashable knob) plus the boxed reordering algorithm.
@@ -138,7 +164,7 @@ impl DtcSpmmBuilder {
                     .with_precision(self.config.precision),
             ),
         };
-        DtcSpmm { perm, kernel, decision, choice, key, trace_cache: Mutex::new(HashMap::new()) }
+        DtcSpmm { perm, kernel, decision, choice, key, trace_cache: Mutex::new(TraceCache::new()) }
     }
 }
 
@@ -173,8 +199,9 @@ pub struct DtcSpmm {
     key: KeyMaterial,
     /// Memoized kernel traces, keyed by (N, device fingerprint,
     /// record_b_addrs): repeated `simulate` calls on one engine re-lower
-    /// the kernel zero times.
-    trace_cache: Mutex<HashMap<(usize, u64, bool), KernelTrace>>,
+    /// the kernel zero times. Two-tier: a lossy verified front slot in
+    /// front of the exact map.
+    trace_cache: Mutex<TraceCache>,
 }
 
 impl DtcSpmm {
@@ -311,14 +338,31 @@ impl SpmmKernel for DtcSpmm {
         // field reordering and allocation-free, so a modified clone of a
         // preset never aliases the preset's cached traces.
         let key = (n, device.fingerprint(), record_b_addrs);
-        if let Some(hit) = self.trace_cache.lock().unwrap().get(&key) {
-            crate::telemetry::trace_cache_hits().incr();
-            return hit.clone();
+        let fh = trace_front_hash(&key);
+        {
+            let mut cache = self.trace_cache.lock().unwrap();
+            if let Some(hit) = cache.front.get(fh, &key) {
+                crate::telemetry::trace_cache_hits().incr();
+                return hit;
+            }
+            if let Some(hit) = cache.exact.get(&key).cloned() {
+                crate::telemetry::trace_cache_hits().incr();
+                // The refill clone is real work (a trace deep-copy), so pay
+                // it only when the front tier can actually store it.
+                if dtc_par::front_tier_enabled() {
+                    cache.front.insert(fh, key, hit.clone());
+                }
+                return hit;
+            }
         }
         crate::telemetry::trace_cache_misses().incr();
         let _lower = dtc_telemetry::span("pipeline.trace");
         let trace = self.kernel.as_kernel().trace(n, device, record_b_addrs);
-        self.trace_cache.lock().unwrap().insert(key, trace.clone());
+        let mut cache = self.trace_cache.lock().unwrap();
+        if dtc_par::front_tier_enabled() {
+            cache.front.insert(fh, key, trace.clone());
+        }
+        cache.exact.insert(key, trace.clone());
         trace
     }
 }
@@ -411,7 +455,7 @@ mod tests {
         // Each device fingerprint must own its own cache slot (the global
         // hit/miss counters are shared across tests, so inspect the
         // engine's private cache directly).
-        assert_eq!(engine.trace_cache.lock().unwrap().len(), 2);
+        assert_eq!(engine.trace_cache.lock().unwrap().exact.len(), 2);
         // And the cached entries really are distinct simulations.
         let t_preset = engine.simulate(64, &preset).time_ms;
         let t_tweaked = engine.simulate(64, &tweaked).time_ms;

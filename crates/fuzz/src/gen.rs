@@ -61,6 +61,7 @@ pub fn family_names() -> &'static [&'static str] {
         "power-law",
         "dense-blocks",
         "special-values",
+        "near-dup-cache",
     ]
 }
 
@@ -91,6 +92,7 @@ pub fn generate_case(master_seed: u64, index: usize) -> FuzzCase {
         "power-law" => gen_power_law(&mut rng, seed),
         "dense-blocks" => gen_dense_blocks(&mut rng),
         "special-values" => gen_special_values(&mut rng),
+        "near-dup-cache" => gen_near_dup_cache(&mut rng, master_seed),
         other => unreachable!("unknown family {other}"),
     };
     let n = N_CHOICES[rng.random_range(0..N_CHOICES.len())];
@@ -243,6 +245,36 @@ fn gen_special_values(rng: &mut StdRng) -> CsrMatrix {
         triplets.push((rng.random_range(0..rows), rng.random_range(0..cols), v));
     }
     CsrMatrix::from_triplets(rows, cols, &triplets).expect("in-bounds triplets")
+}
+
+/// Near-duplicates of one sweep-wide base matrix: same shape and sparsity
+/// structure, with at most one stored value changed by a single bit or a
+/// sign flip. Every case of the family shares its conversion-cache front
+/// slot with the others, so a front tier that verified anything less than
+/// the full key material would cross-serve stale conversions. The base is
+/// derived from the *master* seed (not the case seed) so consecutive cases
+/// of the family really do collide.
+fn gen_near_dup_cache(rng: &mut StdRng, master_seed: u64) -> CsrMatrix {
+    let base = dtc_formats::gen::uniform(80, 80, 640, master_seed ^ 0x5EED_CACE);
+    let mut triplets: Vec<(usize, usize, f32)> = base.iter().collect();
+    match rng.random_range(0..3) {
+        // Exact duplicate of the base: must hit the cache, not reconvert.
+        0 => {}
+        // One value nudged by its lowest mantissa bit: identical structure,
+        // distinct identity.
+        1 => {
+            let i = rng.random_range(0..triplets.len());
+            let (r, c, v) = triplets[i];
+            triplets[i] = (r, c, f32::from_bits(v.to_bits() ^ 1));
+        }
+        // One sign flip.
+        _ => {
+            let i = rng.random_range(0..triplets.len());
+            let (r, c, v) = triplets[i];
+            triplets[i] = (r, c, -v);
+        }
+    }
+    CsrMatrix::from_triplets(80, 80, &triplets).expect("in-bounds triplets")
 }
 
 #[cfg(test)]

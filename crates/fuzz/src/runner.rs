@@ -14,6 +14,10 @@
 //! 3. **Pipeline** — the end-to-end `DtcSpmm` engine with TCA reordering
 //!    on and off (exercising the conversion cache and the permutation
 //!    undo) must also land inside the envelope.
+//! 4. **Cache modes** — the two-tier conversion cache (lossy verified
+//!    front + exact backing store) against exact-only mode, at 1 and 4
+//!    worker threads, interleaving a near-duplicate variant between
+//!    lookups so front-slot collisions are exercised, not just possible.
 //!
 //! Every step is wrapped in `catch_unwind`: a panic anywhere is a
 //! reportable failure, not a sweep abort.
@@ -25,6 +29,7 @@ use dtc_baselines::{
     BlockSpmm, CusparseSpmm, FlashLlmSpmm, HpSpmm, HybridSplitSpmm, SparseTirSpmm, SpartaSpmm,
     SpmmKernel, SputnikSpmm, TcgnnSpmm, SPARTA_DEFAULT_LIMIT,
 };
+use dtc_core::cache::{clear_conversion_cache, metcf_for, CachedConversion};
 use dtc_core::convert::convert_to_metcf_parallel;
 use dtc_core::{BalancedDtcKernel, DtcKernel, DtcSpmm};
 use dtc_formats::{CsrMatrix, DenseMatrix, MeTcfMatrix};
@@ -48,6 +53,9 @@ pub enum FailureKind {
     ConversionDiverged,
     /// `MeTcfMatrix::to_csr` does not reproduce the operand.
     RoundTripBroken,
+    /// The two-tier conversion cache returned something other than the
+    /// exact-only conversion.
+    CacheDiverged,
 }
 
 impl FailureKind {
@@ -60,6 +68,7 @@ impl FailureKind {
             FailureKind::LintError => "lint-error",
             FailureKind::ConversionDiverged => "conversion-diverged",
             FailureKind::RoundTripBroken => "round-trip-broken",
+            FailureKind::CacheDiverged => "cache-diverged",
         }
     }
 }
@@ -242,7 +251,68 @@ pub fn run_case(case: &FuzzCase, device: &Device) -> CaseOutcome {
             }
         }
     }
+
+    // Axis 4: two-tier conversion cache vs exact-only mode.
+    check_cache_modes(a, &mut out);
     out
+}
+
+/// The cache-mode differential: the lossy front tier must be a pure
+/// accelerator. For each thread count, the case matrix is converted in
+/// exact-only mode and then through the two-tier cache — cold, again after
+/// a near-duplicate (one value bit flipped) has been pushed through the
+/// same front slot, and the near-duplicate itself — and every result must
+/// be bitwise identical to its exact-only conversion.
+fn check_cache_modes(a: &CsrMatrix, out: &mut CaseOutcome) {
+    // A one-bit variant shares shape and structure with `a`, so its key
+    // material collides with `a`'s everywhere except the value digest.
+    let variant = (a.nnz() > 0).then(|| {
+        let mut triplets: Vec<(usize, usize, f32)> = a.iter().collect();
+        let (r, c, v) = triplets[0];
+        triplets[0] = (r, c, f32::from_bits(v.to_bits() ^ 1));
+        CsrMatrix::from_triplets(a.rows(), a.cols(), &triplets).expect("in-bounds triplets")
+    });
+    for threads in [1usize, 4] {
+        let label = format!("cache/two-tier-t{threads}");
+        let result = guarded(|| {
+            dtc_par::set_threads(Some(threads));
+            dtc_par::set_front_tier_enabled(false);
+            clear_conversion_cache();
+            let exact_a = metcf_for(a);
+            let exact_v = variant.as_ref().map(metcf_for);
+            dtc_par::set_front_tier_enabled(true);
+            clear_conversion_cache();
+            let cold_a = metcf_for(a);
+            let tier_v = variant.as_ref().map(metcf_for);
+            let warm_a = metcf_for(a);
+            (exact_a, exact_v, cold_a, tier_v, warm_a)
+        });
+        dtc_par::set_front_tier_enabled(true);
+        dtc_par::set_threads(None);
+        match result {
+            Err(msg) => out.push(&label, FailureKind::Panic, msg),
+            Ok((exact_a, exact_v, cold_a, tier_v, warm_a)) => {
+                let same = |x: &CachedConversion, y: &CachedConversion| {
+                    x.distinct_cols == y.distinct_cols && metcf_bitwise_eq(&x.metcf, &y.metcf)
+                };
+                if !same(&cold_a, &exact_a) {
+                    out.push(&label, FailureKind::CacheDiverged, "cold lookup diverges".into());
+                }
+                if !same(&warm_a, &exact_a) {
+                    out.push(&label, FailureKind::CacheDiverged, "warm lookup diverges".into());
+                }
+                if let (Some(ev), Some(tv)) = (&exact_v, &tier_v) {
+                    if !same(tv, ev) {
+                        out.push(
+                            &label,
+                            FailureKind::CacheDiverged,
+                            "near-duplicate cross-served a stale conversion".into(),
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The conversion-path differential: serial vs parallel, plus round-trip.

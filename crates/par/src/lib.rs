@@ -50,8 +50,11 @@
 #![forbid(unsafe_code)]
 
 mod arena;
+pub mod cache;
+pub mod hash;
 
 pub use arena::{with_arena, ScratchArena};
+pub use cache::{front_tier_enabled, set_front_tier_enabled, FrontTier};
 
 use std::cell::Cell;
 use std::collections::VecDeque;

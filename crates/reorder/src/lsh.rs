@@ -2,9 +2,8 @@
 //! row-pair generation for the priority-queue merging of Algorithm 1.
 
 use crate::MinHasher;
-use std::collections::hash_map::DefaultHasher;
+use dtc_par::hash::fnv1a;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 
 /// LSH banding parameters.
 #[derive(Debug, Clone, Copy)]
@@ -54,9 +53,12 @@ pub fn lsh_candidate_pairs(
             if slice.iter().all(|&s| s == u64::MAX) {
                 continue; // empty set
             }
-            let mut h = DefaultHasher::new();
-            slice.hash(&mut h);
-            buckets.entry(h.finish()).or_default().push(idx);
+            // Shared word-wise FNV over the band slice (the slice length is
+            // fixed per call, so no length prefix is needed). Collisions
+            // only add candidate pairs — the merge phase re-verifies
+            // similarity — so a 64-bit bucket hash needs no key material.
+            let h = fnv1a(dtc_par::hash::FNV_OFFSET, slice.iter().copied());
+            buckets.entry(h).or_default().push(idx);
         }
         for members in buckets.values() {
             if members.len() < 2 {

@@ -24,6 +24,8 @@
 //! [`DtcError::PoolExhausted`] rather than thrashing a cold engine.
 
 use dtc_core::{DtcError, EngineConfig, EngineKind, KeyMaterial, SpmmEngine};
+use dtc_par::hash::fnv1a;
+use dtc_par::FrontTier;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -62,12 +64,10 @@ impl PoolKey {
             EngineKind::Tcgnn => 5,
             _ => 0,
         };
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for x in [kind, self.device, self.config, self.material.fingerprint()] {
-            h ^= x;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-        h
+        fnv1a(
+            dtc_par::hash::FNV_OFFSET,
+            [kind, self.device, self.config, self.material.fingerprint()].into_iter(),
+        )
     }
 }
 
@@ -93,6 +93,9 @@ type EngineCell = Arc<OnceLock<Result<Arc<dyn SpmmEngine>, DtcError>>>;
 /// One resident entry.
 struct Slot {
     key: PoolKey,
+    /// The primary bucket hash this slot is filed under (also its front-
+    /// tier slot hash), kept so removal can unfile it without rehashing.
+    primary: u64,
     cell: EngineCell,
     /// Requests served (including the preparing one).
     uses: u64,
@@ -100,8 +103,17 @@ struct Slot {
     last_use: u64,
 }
 
+/// Pool state: a slot arena indexed by stable `usize` handles, the exact
+/// bucket map (primary hash → slot indices, verified by full `PoolKey`
+/// equality), and the lossy front tier (primary hash → slot index, also
+/// verified by full key equality). Everything lives under one `Mutex`, so
+/// the front tier can never disagree with the arena about residency —
+/// every removal invalidates the front slot in the same critical section.
 struct Inner {
-    buckets: HashMap<u64, Vec<Slot>>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    buckets: HashMap<u64, Vec<usize>>,
+    front: FrontTier<PoolKey, usize>,
     len: usize,
     tick: u64,
 }
@@ -143,7 +155,19 @@ impl std::fmt::Debug for EnginePool {
 impl EnginePool {
     /// Creates an empty pool.
     pub fn new(config: PoolConfig) -> Self {
-        EnginePool { config, inner: Mutex::new(Inner { buckets: HashMap::new(), len: 0, tick: 0 }) }
+        EnginePool {
+            config,
+            inner: Mutex::new(Inner {
+                slots: Vec::new(),
+                free: Vec::new(),
+                buckets: HashMap::new(),
+                // At least 64 slots so the front tier is never the
+                // capacity bottleneck for a default-sized pool.
+                front: FrontTier::new("pool", config.capacity.max(64)),
+                len: 0,
+                tick: 0,
+            }),
+        }
     }
 
     /// Resident engine count (including ones still preparing).
@@ -183,28 +207,45 @@ impl EnginePool {
     ) -> Result<Fetched, DtcError> {
         let (cell, hit) = {
             let mut inner = self.inner.lock().unwrap();
+            let inner = &mut *inner;
             inner.tick += 1;
             let tick = inner.tick;
-            let bucket = inner.buckets.entry(primary).or_default();
-            if let Some(slot) = bucket.iter_mut().find(|s| s.key == key) {
-                slot.uses += 1;
-                slot.last_use = tick;
-                crate::telemetry::pool_hits().incr();
-                (Arc::clone(&slot.cell), true)
-            } else {
-                if inner.len >= self.config.capacity {
-                    self.evict_lru(&mut inner)?;
+            match Self::resident_idx(inner, primary, &key) {
+                Some(idx) => {
+                    let slot = inner.slots[idx].as_mut().expect("resident slot");
+                    slot.uses += 1;
+                    slot.last_use = tick;
+                    crate::telemetry::pool_hits().incr();
+                    (Arc::clone(&slot.cell), true)
                 }
-                let cell: EngineCell = Arc::new(OnceLock::new());
-                inner.buckets.entry(primary).or_default().push(Slot {
-                    key: key.clone(),
-                    cell: Arc::clone(&cell),
-                    uses: 1,
-                    last_use: tick,
-                });
-                inner.len += 1;
-                crate::telemetry::pool_misses().incr();
-                (cell, false)
+                None => {
+                    if inner.len >= self.config.capacity {
+                        self.evict_lru(inner)?;
+                    }
+                    let cell: EngineCell = Arc::new(OnceLock::new());
+                    let slot = Slot {
+                        key: key.clone(),
+                        primary,
+                        cell: Arc::clone(&cell),
+                        uses: 1,
+                        last_use: tick,
+                    };
+                    let idx = match inner.free.pop() {
+                        Some(i) => {
+                            inner.slots[i] = Some(slot);
+                            i
+                        }
+                        None => {
+                            inner.slots.push(Some(slot));
+                            inner.slots.len() - 1
+                        }
+                    };
+                    inner.buckets.entry(primary).or_default().push(idx);
+                    inner.front.insert(primary, key.clone(), idx);
+                    inner.len += 1;
+                    crate::telemetry::pool_misses().incr();
+                    (cell, false)
+                }
             }
         };
         // Prepare outside the pool lock: other keys must not wait on this
@@ -220,38 +261,74 @@ impl EnginePool {
             Err(e) => {
                 // Drop the failed slot so the next request can retry.
                 let mut inner = self.inner.lock().unwrap();
-                if let Some(bucket) = inner.buckets.get_mut(&primary) {
-                    let before = bucket.len();
-                    bucket.retain(|s| !(s.key == key && Arc::ptr_eq(&s.cell, &cell)));
-                    inner.len -= before - bucket.len();
+                let inner = &mut *inner;
+                if let Some(idx) = (0..inner.slots.len()).find(|&i| {
+                    inner.slots[i]
+                        .as_ref()
+                        .is_some_and(|s| s.key == key && Arc::ptr_eq(&s.cell, &cell))
+                }) {
+                    Self::remove_slot(inner, idx);
                 }
                 Err(e)
             }
         }
     }
 
+    /// Two-tier resident lookup: a lossy front probe on the primary hash
+    /// (verified by full [`PoolKey`] equality), falling through to the
+    /// exact bucket walk, which refills the front slot on a hit.
+    fn resident_idx(inner: &mut Inner, primary: u64, key: &PoolKey) -> Option<usize> {
+        if let Some(idx) = inner.front.get(primary, key) {
+            // Arena indices are reused, so re-verify against the slot
+            // itself. Removal invalidates the front entry in the same
+            // critical section, so this only fires if the global switch
+            // was off at removal time — correctness must not depend on
+            // the switch's history either way.
+            if inner.slots.get(idx).and_then(Option::as_ref).is_some_and(|s| s.key == *key) {
+                return Some(idx);
+            }
+            inner.front.invalidate(primary, key);
+        }
+        let idx = inner
+            .buckets
+            .get(&primary)?
+            .iter()
+            .copied()
+            .find(|&i| inner.slots[i].as_ref().is_some_and(|s| s.key == *key))?;
+        inner.front.insert(primary, key.clone(), idx);
+        Some(idx)
+    }
+
+    /// Unfiles a slot from the arena, its bucket, and the front tier.
+    fn remove_slot(inner: &mut Inner, idx: usize) {
+        let slot = inner.slots[idx].take().expect("removing a resident slot");
+        if let Some(bucket) = inner.buckets.get_mut(&slot.primary) {
+            bucket.retain(|&i| i != idx);
+            if bucket.is_empty() {
+                inner.buckets.remove(&slot.primary);
+            }
+        }
+        inner.front.invalidate(slot.primary, &slot.key);
+        inner.free.push(idx);
+        inner.len -= 1;
+    }
+
     /// Evicts the least-recently-used entry whose warmup pin has expired.
     fn evict_lru(&self, inner: &mut Inner) -> Result<(), DtcError> {
-        let mut victim: Option<(u64, u64, usize)> = None; // (last_use, bucket, idx)
-        for (&b, bucket) in inner.buckets.iter() {
-            for (i, slot) in bucket.iter().enumerate() {
-                if slot.uses < self.config.warmup_uses {
-                    continue; // still pinned by warmup
-                }
-                if victim.is_none_or(|(lu, _, _)| slot.last_use < lu) {
-                    victim = Some((slot.last_use, b, i));
-                }
+        let mut victim: Option<(u64, usize)> = None; // (last_use, idx)
+        for (i, slot) in inner.slots.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            if slot.uses < self.config.warmup_uses {
+                continue; // still pinned by warmup
+            }
+            if victim.is_none_or(|(lu, _)| slot.last_use < lu) {
+                victim = Some((slot.last_use, i));
             }
         }
         match victim {
             None => Err(DtcError::PoolExhausted { capacity: self.config.capacity }),
-            Some((_, b, i)) => {
-                let bucket = inner.buckets.get_mut(&b).expect("victim bucket exists");
-                bucket.remove(i);
-                if bucket.is_empty() {
-                    inner.buckets.remove(&b);
-                }
-                inner.len -= 1;
+            Some((_, i)) => {
+                Self::remove_slot(inner, i);
                 crate::telemetry::pool_evictions().incr();
                 Ok(())
             }
@@ -349,6 +426,52 @@ mod tests {
         // A was evicted (miss again). B's slot got warmed by the hit above,
         // so the pool evicts it now rather than refusing.
         assert!(!pool.get_or_prepare(key_of(&a, &config), prepare_dtc(&a, &config)).unwrap().hit);
+    }
+
+    /// Serializes the tests that toggle or observe the process-wide front
+    /// switch (cargo runs tests of one binary concurrently).
+    static SWITCH: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn eviction_invalidates_the_front_tier() {
+        let _g = SWITCH.lock().unwrap();
+        // An evicted engine must be gone from BOTH tiers: a front entry
+        // surviving its slot's eviction would point at a recycled arena
+        // index and could hand one tenant another tenant's engine.
+        let pool = EnginePool::new(PoolConfig { capacity: 2, warmup_uses: 1 });
+        let config = EngineConfig::default();
+        let a = uniform(64, 64, 300, 9101);
+        let b = uniform(64, 64, 300, 9102);
+        let c = uniform(48, 48, 200, 9103);
+        pool.get_or_prepare(key_of(&a, &config), prepare_dtc(&a, &config)).unwrap();
+        assert!(pool.get_or_prepare(key_of(&a, &config), prepare_dtc(&a, &config)).unwrap().hit);
+        pool.get_or_prepare(key_of(&b, &config), prepare_dtc(&b, &config)).unwrap();
+        assert!(pool.get_or_prepare(key_of(&b, &config), prepare_dtc(&b, &config)).unwrap().hit);
+        // C evicts A (the LRU); A's arena slot index is recycled for C.
+        let fc = pool.get_or_prepare(key_of(&c, &config), prepare_dtc(&c, &config)).unwrap();
+        assert!(!fc.hit);
+        assert_eq!(fc.engine.rows(), 48);
+        // A must now be a full miss — never front-served from the stale slot.
+        let fa = pool.get_or_prepare(key_of(&a, &config), prepare_dtc(&a, &config)).unwrap();
+        assert!(!fa.hit, "evicted engine must not be served from the front tier");
+        assert_eq!(fa.engine.rows(), 64);
+    }
+
+    #[test]
+    fn exact_only_pool_is_bitwise_identical() {
+        let _g = SWITCH.lock().unwrap();
+        // With the front tier disabled the exact bucket walk must resolve
+        // the very same resident engine (Arc identity).
+        let pool = EnginePool::new(PoolConfig::default());
+        let config = EngineConfig::default();
+        let a = uniform(80, 80, 400, 9104);
+        let two_tier = pool.get_or_prepare(key_of(&a, &config), prepare_dtc(&a, &config)).unwrap();
+        dtc_par::set_front_tier_enabled(false);
+        let exact_only =
+            pool.get_or_prepare(key_of(&a, &config), prepare_dtc(&a, &config)).unwrap();
+        dtc_par::set_front_tier_enabled(true);
+        assert!(exact_only.hit);
+        assert!(Arc::ptr_eq(&two_tier.engine, &exact_only.engine));
     }
 
     #[test]

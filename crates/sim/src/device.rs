@@ -143,36 +143,35 @@ impl Device {
             tb_launch_overhead_cycles,
             atomic_cost_cycles,
         } = self;
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        let mut eat = |x: u64| {
-            h ^= x;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        };
-        for b in name.bytes() {
-            eat(b as u64);
+        let mut fnv = dtc_par::hash::Fnv1a::new();
+        {
+            let mut eat = |x: u64| fnv.word(x);
+            for b in name.bytes() {
+                eat(b as u64);
+            }
+            // Terminator so "AB" + field 1 never aliases "A" + a field
+            // starting with byte 'B'.
+            eat(0xff);
+            eat(*num_sms as u64);
+            eat(sm_clock_ghz.to_bits());
+            eat(*l2_bytes);
+            eat(*l2_ways as u64);
+            eat(*sector_bytes as u64);
+            eat(dram_bw_gbps.to_bits());
+            eat(*global_mem_bytes);
+            eat(tc_hmma_per_cycle.to_bits());
+            eat(alu_ops_per_cycle.to_bits());
+            eat(fp32_ops_per_cycle.to_bits());
+            eat(lsu_sectors_per_cycle.to_bits());
+            eat(smem_ops_per_cycle.to_bits());
+            eat(shfl_ops_per_cycle.to_bits());
+            eat(mem_latency_cycles.to_bits());
+            eat(hmma_latency_cycles.to_bits());
+            eat(shfl_latency_cycles.to_bits());
+            eat(tb_launch_overhead_cycles.to_bits());
+            eat(atomic_cost_cycles.to_bits());
         }
-        // Terminator so "AB" + field 1 never aliases "A" + a field starting
-        // with byte 'B'.
-        eat(0xff);
-        eat(*num_sms as u64);
-        eat(sm_clock_ghz.to_bits());
-        eat(*l2_bytes);
-        eat(*l2_ways as u64);
-        eat(*sector_bytes as u64);
-        eat(dram_bw_gbps.to_bits());
-        eat(*global_mem_bytes);
-        eat(tc_hmma_per_cycle.to_bits());
-        eat(alu_ops_per_cycle.to_bits());
-        eat(fp32_ops_per_cycle.to_bits());
-        eat(lsu_sectors_per_cycle.to_bits());
-        eat(smem_ops_per_cycle.to_bits());
-        eat(shfl_ops_per_cycle.to_bits());
-        eat(mem_latency_cycles.to_bits());
-        eat(hmma_latency_cycles.to_bits());
-        eat(shfl_latency_cycles.to_bits());
-        eat(tb_launch_overhead_cycles.to_bits());
-        eat(atomic_cost_cycles.to_bits());
-        h
+        fnv.finish()
     }
 
     /// DRAM bandwidth expressed in bytes per SM-clock cycle (whole device).

@@ -12,6 +12,8 @@
 
 use crate::occupancy::KernelResources;
 use crate::stream::SectorStream;
+use dtc_par::hash::{fnv1a, Fnv1a};
+use dtc_par::FrontTier;
 use std::collections::HashMap;
 
 /// The per-thread-block work descriptor a kernel implementation lowers to.
@@ -99,20 +101,12 @@ impl TbWork {
 /// field except the sector stream, compared bit-for-bit (`f64::to_bits`)
 /// so interning never conflates values that would time differently.
 fn work_key(tb: &TbWork) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x1000_0000_01b3;
-    let mut h = FNV_OFFSET;
-    let mut mix = |bits: u64| {
-        for byte in bits.to_le_bytes() {
-            h ^= byte as u64;
-            h = h.wrapping_mul(FNV_PRIME);
-        }
-    };
+    let mut h = Fnv1a::new();
     for v in work_fields(tb) {
-        mix(v.to_bits());
+        h.word_bytes(v.to_bits());
     }
-    mix(tb.overlap_a_fetch as u64);
-    h
+    h.word_bytes(tb.overlap_a_fetch as u64);
+    h.finish()
 }
 
 /// The twelve numeric work fields, in a fixed order, for hashing/equality.
@@ -125,6 +119,43 @@ fn work_eq(a: &TbWork, b: &TbWork) -> bool {
     a.overlap_a_fetch == b.overlap_a_fetch
         && work_fields(a).iter().zip(work_fields(b).iter()).all(|(x, y)| x.to_bits() == y.to_bits())
 }
+
+/// The duration class identity as 13 plain words (12 field bit patterns +
+/// the overlap flag). Derived `PartialEq` on the words is exactly
+/// [`work_eq`] on the source blocks, so a front-tier hit verified by this
+/// key can never conflate two blocks that would time differently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct WorkClassKey([u64; 13]);
+
+impl WorkClassKey {
+    fn of(tb: &TbWork) -> Self {
+        let mut w = [0u64; 13];
+        for (slot, v) in w.iter_mut().zip(work_fields(tb)) {
+            *slot = v.to_bits();
+        }
+        w[12] = tb.overlap_a_fetch as u64;
+        WorkClassKey(w)
+    }
+
+    /// Cheap word-wise front hash: 13 fold steps, versus the 104 byte-wise
+    /// steps of the exact-tier [`work_key`]. Lossier mixing is fine here —
+    /// a bad slot spread only costs front misses, never wrong classes.
+    ///
+    /// Each word is pre-folded with `x ^ (x >> 32)` first: the words are
+    /// `f64` bit patterns of small counts, whose entropy sits in the
+    /// exponent and high mantissa bits, and FNV's multiply only carries
+    /// entropy upward — without the fold every class would land in the
+    /// same low-bits slot.
+    fn front_hash(&self) -> u64 {
+        fnv1a(dtc_par::hash::FNV_OFFSET, self.0.iter().map(|&x| x ^ (x >> 32)))
+    }
+}
+
+/// Front-tier slots per trace. Real lowerings produce tens of distinct
+/// classes, so 128 direct-mapped slots hold the working set; the slab
+/// stays small (~14 KiB) so cloning a trace — the trace-cache hit path —
+/// stays cheap.
+const INTERN_FRONT_SLOTS: usize = 128;
 
 static EMPTY_STREAM: SectorStream = SectorStream::new();
 
@@ -141,6 +172,10 @@ pub struct KernelTrace {
     streams: Vec<SectorStream>,
     /// Work-field hash → candidate class indices (collision bucket).
     index: HashMap<u64, Vec<u32>>,
+    /// Lossy front tier over the interning table: last class seen per
+    /// direct-mapped slot, verified by full [`WorkClassKey`] equality. A
+    /// hit skips the byte-granular [`work_key`] and the bucket scan.
+    front: FrontTier<WorkClassKey, u32>,
     /// When false, `push` appends a fresh class per block (the legacy
     /// uncompressed layout, kept for benchmarking and equivalence tests).
     interning: bool,
@@ -174,6 +209,7 @@ impl KernelTrace {
             class_ids: Vec::new(),
             streams: Vec::new(),
             index: HashMap::new(),
+            front: FrontTier::new("intern", INTERN_FRONT_SLOTS),
             interning: true,
             occupancy,
             warps_per_tb,
@@ -230,10 +266,16 @@ impl KernelTrace {
     }
 
     fn intern(&mut self, tb: TbWork) -> u32 {
+        let class_key = WorkClassKey::of(&tb);
+        let front_hash = class_key.front_hash();
+        if let Some(c) = self.front.get(front_hash, &class_key) {
+            return c;
+        }
         let key = work_key(&tb);
         if let Some(bucket) = self.index.get(&key) {
             for &c in bucket {
                 if work_eq(&self.classes[c as usize], &tb) {
+                    self.front.insert(front_hash, class_key, c);
                     return c;
                 }
             }
@@ -241,6 +283,7 @@ impl KernelTrace {
         let c = self.classes.len() as u32;
         self.classes.push(tb);
         self.index.entry(key).or_default().push(c);
+        self.front.insert(front_hash, class_key, c);
         c
     }
 
