@@ -25,6 +25,7 @@ use dtc_formats::{CsrMatrix, DenseMatrix};
 use dtc_par::{set_front_tier_enabled, FrontTier};
 use dtc_serve::{EnginePool, PoolConfig, PoolKey};
 use dtc_sim::{Device, KernelTrace, TbWork};
+use dtc_telemetry::json::Json;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -238,15 +239,14 @@ fn crafted_collision_rejects() -> u64 {
     rejects.get() - before
 }
 
-fn json_point(p: &Point) -> String {
-    format!(
-        "      {{\"working_set\": {}, \"exact_ns\": {:.1}, \"two_tier_ns\": {:.1}, \"speedup\": {:.3}, \"l1_hit_rate\": {:.4}}}",
-        p.working_set,
-        p.exact_ns,
-        p.two_tier_ns,
-        p.speedup(),
-        p.l1_hit_rate
-    )
+fn json_point(p: &Point) -> Json {
+    Json::obj_inline(vec![
+        ("working_set", Json::usize(p.working_set)),
+        ("exact_ns", Json::f(p.exact_ns, 1)),
+        ("two_tier_ns", Json::f(p.two_tier_ns, 1)),
+        ("speedup", Json::f(p.speedup(), 3)),
+        ("l1_hit_rate", Json::f(p.l1_hit_rate, 4)),
+    ])
 }
 
 fn main() {
@@ -335,23 +335,27 @@ fn main() {
         );
     }
 
-    let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"cache\",\n");
-    json.push_str(&format!("  \"smoke\": {smoke},\n"));
-    json.push_str(&format!("  \"timing_reps\": {REPS},\n"));
-    json.push_str(&format!("  \"collision_verify_rejects\": {rejects},\n"));
-    json.push_str("  \"paths\": [\n");
-    let blocks: Vec<String> = paths
-        .iter()
-        .map(|(name, points)| {
-            format!(
-                "    {{\"path\": \"{name}\", \"sweep\": [\n{}\n    ]}}",
-                points.iter().map(json_point).collect::<Vec<_>>().join(",\n")
-            )
-        })
-        .collect();
-    json.push_str(&blocks.join(",\n"));
-    json.push_str("\n  ]\n}\n");
+    let json = Json::obj(vec![
+        ("bench", Json::str("cache")),
+        ("smoke", Json::bool(smoke)),
+        ("timing_reps", Json::usize(REPS)),
+        ("collision_verify_rejects", Json::u64(rejects)),
+        (
+            "paths",
+            Json::arr(
+                paths
+                    .iter()
+                    .map(|(name, points)| {
+                        Json::obj(vec![
+                            ("path", Json::str(*name)),
+                            ("sweep", Json::arr(points.iter().map(json_point).collect())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .render();
     std::fs::write("BENCH_cache.json", &json).expect("write BENCH_cache.json");
     println!("\nwrote BENCH_cache.json");
 }

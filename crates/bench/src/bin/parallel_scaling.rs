@@ -29,6 +29,7 @@
 
 use dtc_core::{clear_conversion_cache, conversion_cache_stats, DtcSpmm};
 use dtc_formats::{gen, CsrMatrix, DenseMatrix};
+use dtc_telemetry::json::Json;
 use std::time::Instant;
 
 const FULL_SWEEP: &[usize] = &[1, 2, 4, 8, 16];
@@ -233,48 +234,57 @@ fn main() {
     let max_speedup = samples.iter().map(|s| serial_ms / s.total_ms).fold(0.0f64, f64::max);
     let max_crit_speedup =
         samples.iter().map(|s| serial_crit_ms / s.crit_ms()).fold(0.0f64, f64::max);
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"parallel_scaling\",\n");
-    json.push_str(&format!(
-        "  \"matrix\": {{ \"rows\": {}, \"cols\": {}, \"nnz\": {} }},\n",
-        a.rows(),
-        a.cols(),
-        a.nnz()
-    ));
-    json.push_str(&format!("  \"n\": {N},\n  \"reps\": {reps},\n"));
-    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
-    json.push_str(&format!("  \"serial_ms\": {serial_ms:.3},\n"));
-    json.push_str(&format!("  \"serial_crit_ms\": {serial_crit_ms:.3},\n"));
-    json.push_str("  \"sweep\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{ \"threads\": {}, \"total_ms\": {:.3}, \"build_ms\": {:.3}, \"execute_ms\": {:.3}, \
-             \"speedup\": {:.3}, \"critical_path_ms\": {:.3}, \"build_crit_ms\": {:.3}, \
-             \"execute_crit_ms\": {:.3}, \"crit_speedup\": {:.3}, \"steals\": {}, \
-             \"max_imbalance\": {:.3} }}{}\n",
-            s.threads,
-            s.total_ms,
-            s.build_ms,
-            s.exec_ms,
-            serial_ms / s.total_ms,
-            s.crit_ms(),
-            s.build_crit_ms,
-            s.exec_crit_ms,
-            serial_crit_ms / s.crit_ms(),
-            s.steals,
-            s.max_imbalance,
-            if i + 1 < samples.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!("  \"max_speedup\": {max_speedup:.3},\n"));
-    json.push_str(&format!("  \"max_crit_speedup\": {max_crit_speedup:.3},\n"));
-    json.push_str(&format!(
-        "  \"conversion_cache\": {{ \"cold_build_ms\": {cold_ms:.3}, \"warm_build_ms\": {warm_ms:.3}, \
-         \"warm_exact_ms\": {warm_exact_ms:.3}, \"warm_two_tier_ms\": {warm_tiered_ms:.3} }}\n"
-    ));
-    json.push_str("}\n");
+    let json = Json::obj(vec![
+        ("bench", Json::str("parallel_scaling")),
+        (
+            "matrix",
+            Json::obj_inline(vec![
+                ("rows", Json::usize(a.rows())),
+                ("cols", Json::usize(a.cols())),
+                ("nnz", Json::usize(a.nnz())),
+            ]),
+        ),
+        ("n", Json::raw(N.to_string())),
+        ("reps", Json::raw(reps.to_string())),
+        ("host_threads", Json::raw(host_threads.to_string())),
+        ("serial_ms", Json::f(serial_ms, 3)),
+        ("serial_crit_ms", Json::f(serial_crit_ms, 3)),
+        (
+            "sweep",
+            Json::arr(
+                samples
+                    .iter()
+                    .map(|s| {
+                        Json::obj_inline(vec![
+                            ("threads", Json::usize(s.threads)),
+                            ("total_ms", Json::f(s.total_ms, 3)),
+                            ("build_ms", Json::f(s.build_ms, 3)),
+                            ("execute_ms", Json::f(s.exec_ms, 3)),
+                            ("speedup", Json::f(serial_ms / s.total_ms, 3)),
+                            ("critical_path_ms", Json::f(s.crit_ms(), 3)),
+                            ("build_crit_ms", Json::f(s.build_crit_ms, 3)),
+                            ("execute_crit_ms", Json::f(s.exec_crit_ms, 3)),
+                            ("crit_speedup", Json::f(serial_crit_ms / s.crit_ms(), 3)),
+                            ("steals", Json::raw(s.steals.to_string())),
+                            ("max_imbalance", Json::f(s.max_imbalance, 3)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("max_speedup", Json::f(max_speedup, 3)),
+        ("max_crit_speedup", Json::f(max_crit_speedup, 3)),
+        (
+            "conversion_cache",
+            Json::obj_inline(vec![
+                ("cold_build_ms", Json::f(cold_ms, 3)),
+                ("warm_build_ms", Json::f(warm_ms, 3)),
+                ("warm_exact_ms", Json::f(warm_exact_ms, 3)),
+                ("warm_two_tier_ms", Json::f(warm_tiered_ms, 3)),
+            ]),
+        ),
+    ])
+    .render();
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!(
         "wrote BENCH_parallel.json (wall max {max_speedup:.2}x, critical path max \

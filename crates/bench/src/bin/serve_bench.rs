@@ -19,6 +19,7 @@ use dtc_core::{EngineConfig, EngineKind};
 use dtc_formats::{gen, DenseMatrix};
 use dtc_serve::loadgen::{self, LoadGenConfig, LoadPoint, TenantSpec};
 use dtc_serve::{Request, ServeConfig, SpmmServer};
+use dtc_telemetry::json::Json;
 use std::sync::Arc;
 
 /// The smoke gate: steady-state engine-pool hit rate on the repeated-
@@ -120,30 +121,28 @@ fn warm_request_ms(
     t0.elapsed().as_secs_f64() * 1e3 / (rounds * tenants.len()) as f64
 }
 
-fn json_point(p: &LoadPoint) -> String {
+fn json_point(p: &LoadPoint) -> Json {
     let hist = p
         .batch_hist
         .iter()
         .enumerate()
         .filter(|(_, &n)| n > 0)
-        .map(|(s, &n)| format!("{{ \"batch_size\": {}, \"batches\": {} }}", s + 1, n))
-        .collect::<Vec<_>>()
-        .join(", ");
-    format!(
-        "    {{ \"offered_qps\": {:.1}, \"achieved_qps\": {:.1}, \"p50_ms\": {:.4}, \
-         \"p99_ms\": {:.4}, \"completed\": {}, \"rejected\": {}, \"batches\": {}, \
-         \"mean_batch\": {:.3}, \"hit_rate\": {:.4}, \"batch_hist\": [{}] }}",
-        p.offered_qps,
-        p.achieved_qps,
-        p.p50_ms,
-        p.p99_ms,
-        p.completed,
-        p.rejected,
-        p.batches,
-        p.mean_batch,
-        p.hit_rate,
-        hist
-    )
+        .map(|(s, &n)| {
+            Json::obj_inline(vec![("batch_size", Json::usize(s + 1)), ("batches", Json::u64(n))])
+        })
+        .collect();
+    Json::obj_inline(vec![
+        ("offered_qps", Json::f(p.offered_qps, 1)),
+        ("achieved_qps", Json::f(p.achieved_qps, 1)),
+        ("p50_ms", Json::f(p.p50_ms, 4)),
+        ("p99_ms", Json::f(p.p99_ms, 4)),
+        ("completed", Json::usize(p.completed)),
+        ("rejected", Json::usize(p.rejected)),
+        ("batches", Json::usize(p.batches)),
+        ("mean_batch", Json::f(p.mean_batch, 3)),
+        ("hit_rate", Json::f(p.hit_rate, 4)),
+        ("batch_hist", Json::arr_inline(hist)),
+    ])
 }
 
 fn main() {
@@ -201,19 +200,25 @@ fn main() {
         pool_exact_ms / pool_tiered_ms.max(1e-9)
     );
 
-    let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"serve\",\n");
-    json.push_str(&format!("  \"smoke\": {smoke},\n  \"verify\": {verify},\n"));
-    json.push_str(&format!("  \"tenants\": {},\n", tenants.len()));
-    json.push_str(&format!("  \"requests_per_point\": {},\n", cfg.requests));
-    json.push_str(&format!("  \"calibrated_service_ms\": {service_ms:.4},\n"));
-    json.push_str("  \"sweep\": [\n");
-    json.push_str(&points.iter().map(json_point).collect::<Vec<_>>().join(",\n"));
-    json.push_str("\n  ],\n");
-    json.push_str(&format!(
-        "  \"pool_front_tier\": {{ \"warm_exact_ms\": {pool_exact_ms:.4}, \"warm_two_tier_ms\": \
-         {pool_tiered_ms:.4}, \"l1_hits\": {l1_hits}, \"l1_misses\": {l1_misses} }}\n}}\n"
-    ));
+    let json = Json::obj(vec![
+        ("bench", Json::str("serve")),
+        ("smoke", Json::bool(smoke)),
+        ("verify", Json::bool(verify)),
+        ("tenants", Json::usize(tenants.len())),
+        ("requests_per_point", Json::usize(cfg.requests)),
+        ("calibrated_service_ms", Json::f(service_ms, 4)),
+        ("sweep", Json::arr(points.iter().map(json_point).collect())),
+        (
+            "pool_front_tier",
+            Json::obj_inline(vec![
+                ("warm_exact_ms", Json::f(pool_exact_ms, 4)),
+                ("warm_two_tier_ms", Json::f(pool_tiered_ms, 4)),
+                ("l1_hits", Json::u64(l1_hits)),
+                ("l1_misses", Json::u64(l1_misses)),
+            ]),
+        ),
+    ])
+    .render();
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json ({} sweep points)", points.len());
 

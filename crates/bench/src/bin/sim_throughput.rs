@@ -17,6 +17,7 @@ use dtc_sim::{
     l2_counts_over_trace, l2_shard_counts, simulate, Device, KernelTrace, SectorStream, SimOptions,
     TbWork, TimingMode,
 };
+use dtc_telemetry::json::Json;
 use std::time::Instant;
 
 const L2_THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -188,35 +189,65 @@ fn main() {
         assert!(best_speedup >= 3.0, "acceptance: interning speedup {best_speedup:.2}x < 3x");
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"sim_throughput\",\n");
-    json.push_str(&format!("  \"smoke\": {smoke},\n"));
-    json.push_str(&format!(
-        "  \"trace\": {{ \"blocks\": {blocks}, \"classes\": {}, \"sectors\": {sectors}, \"bytes\": {trace_bytes}, \"raw_stream_bytes\": {raw_stream_bytes} }},\n",
-        interned.num_classes()
-    ));
-    json.push_str("  \"timing\": [\n");
-    for (i, (name, legacy_ms, interned_ms, speedup, bps)) in timing_rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{ \"mode\": \"{name}\", \"legacy_ms\": {legacy_ms:.4}, \"interned_ms\": {interned_ms:.4}, \"speedup\": {speedup:.3}, \"blocks_per_sec\": {bps:.1} }}{}\n",
-            if i + 1 < timing_rows.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
-    json.push_str("  \"l2_sweep\": [\n");
-    for (i, (threads, wall, wall_speedup, cp_ms, cp_speedup, sps)) in l2_rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{ \"threads\": {threads}, \"wall_ms\": {wall:.4}, \"wall_speedup\": {wall_speedup:.3}, \"critical_path_ms\": {cp_ms:.4}, \"critical_path_speedup\": {cp_speedup:.3}, \"sectors_per_sec\": {sps:.1} }}{}\n",
-            if i + 1 < l2_rows.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"intern_front_tier\": {{ \"exact_build_ms\": {build_exact_ms:.4}, \"two_tier_build_ms\": {build_tiered_ms:.4}, \"speedup\": {intern_speedup:.3} }}\n"
-    ));
-    json.push_str("}\n");
+    let json = Json::obj(vec![
+        ("bench", Json::str("sim_throughput")),
+        ("smoke", Json::bool(smoke)),
+        (
+            "trace",
+            Json::obj_inline(vec![
+                ("blocks", Json::raw(blocks.to_string())),
+                ("classes", Json::usize(interned.num_classes())),
+                ("sectors", Json::raw(sectors.to_string())),
+                ("bytes", Json::raw(trace_bytes.to_string())),
+                ("raw_stream_bytes", Json::raw(raw_stream_bytes.to_string())),
+            ]),
+        ),
+        (
+            "timing",
+            Json::arr(
+                timing_rows
+                    .iter()
+                    .map(|(name, legacy_ms, interned_ms, speedup, bps)| {
+                        Json::obj_inline(vec![
+                            ("mode", Json::str(*name)),
+                            ("legacy_ms", Json::f(*legacy_ms, 4)),
+                            ("interned_ms", Json::f(*interned_ms, 4)),
+                            ("speedup", Json::f(*speedup, 3)),
+                            ("blocks_per_sec", Json::f(*bps, 1)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("host_threads", Json::raw(host_threads.to_string())),
+        (
+            "l2_sweep",
+            Json::arr(
+                l2_rows
+                    .iter()
+                    .map(|(threads, wall, wall_speedup, cp_ms, cp_speedup, sps)| {
+                        Json::obj_inline(vec![
+                            ("threads", Json::raw(threads.to_string())),
+                            ("wall_ms", Json::f(*wall, 4)),
+                            ("wall_speedup", Json::f(*wall_speedup, 3)),
+                            ("critical_path_ms", Json::f(*cp_ms, 4)),
+                            ("critical_path_speedup", Json::f(*cp_speedup, 3)),
+                            ("sectors_per_sec", Json::f(*sps, 1)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "intern_front_tier",
+            Json::obj_inline(vec![
+                ("exact_build_ms", Json::f(build_exact_ms, 4)),
+                ("two_tier_build_ms", Json::f(build_tiered_ms, 4)),
+                ("speedup", Json::f(intern_speedup, 3)),
+            ]),
+        ),
+    ])
+    .render();
     std::fs::write("BENCH_sim_perf.json", &json).expect("write BENCH_sim_perf.json");
     println!("wrote BENCH_sim_perf.json");
 }

@@ -11,6 +11,11 @@
 //! runs two small matrices for CI. Writes `TRACELINT.json` and exits
 //! nonzero when any error-severity diagnostic is produced — this is the CI
 //! gate that keeps lowering sites honest.
+//!
+//! Documentation modes (no sweep): `--explain <lint-id>` prints one
+//! lint's id, severity and summary from either registry; `--lints-md`
+//! regenerates `docs/LINTS.md` (run from the repo root; the
+//! `lint_docs` test fails when the checked-in file drifts).
 
 use dtc_baselines::util::distinct_col_count;
 use dtc_baselines::*;
@@ -111,6 +116,25 @@ fn lint_dataset(dataset: &Dataset, n: usize, device: &Device, report: &mut LintR
 fn main() {
     let _metrics = dtc_bench::metrics_flush_guard();
     let args = dtc_bench::cli::Args::parse();
+    if args.flag("explain") {
+        let id = args.positional(0).unwrap_or("");
+        match dtc_verify::explain_lint(id) {
+            Some(doc) => {
+                println!("{} ({})", doc.id, doc.severity.as_str());
+                println!("  {}", doc.summary);
+                return;
+            }
+            None => {
+                eprintln!("tracelint: unknown lint id {id:?} (see docs/LINTS.md)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.flag("lints-md") {
+        std::fs::write("docs/LINTS.md", dtc_verify::lints_markdown()).expect("write docs/LINTS.md");
+        println!("wrote docs/LINTS.md");
+        return;
+    }
     let smoke = args.smoke();
     let suite = args.flag("suite");
     let device = scaled_device(Device::rtx4090());

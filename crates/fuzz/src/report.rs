@@ -7,8 +7,8 @@
 use crate::gen::{family_names, FuzzCase};
 use crate::runner::{CaseOutcome, Failure};
 use crate::shrink::fixture_code;
+use dtc_telemetry::json::Json;
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
 
 /// One recorded failure with its minimized reproducer.
 #[derive(Debug, Clone)]
@@ -98,56 +98,48 @@ impl FuzzReport {
         !self.failures.is_empty()
     }
 
-    /// Serializes the report as pretty-printed JSON.
+    /// Serializes the report as pretty-printed JSON (byte-stable: same
+    /// sweep, same bytes), via the shared [`dtc_telemetry::json`] module.
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n");
-        let _ = writeln!(out, "  \"master_seed\": {},", self.master_seed);
-        let _ = writeln!(out, "  \"device\": \"{}\",", escape(&self.device));
-        let _ = writeln!(out, "  \"cases_run\": {},", self.cases_run);
-        let _ = writeln!(out, "  \"kernels_run\": {},", self.kernels_run);
-        let _ = writeln!(out, "  \"num_failures\": {},", self.failures.len());
-        out.push_str("  \"families\": {\n");
-        let last = self.families.len();
-        for (i, (family, (run, failed))) in self.families.iter().enumerate() {
-            let _ = write!(out, "    \"{family}\": {{\"run\": {run}, \"failed\": {failed}}}");
-            out.push_str(if i + 1 < last { ",\n" } else { "\n" });
-        }
-        out.push_str("  },\n");
-        out.push_str("  \"failures\": [\n");
-        for (i, f) in self.failures.iter().enumerate() {
-            out.push_str("    {\n");
-            let _ = writeln!(out, "      \"index\": {},", f.index);
-            let _ = writeln!(out, "      \"family\": \"{}\",", escape(f.family));
-            let _ = writeln!(out, "      \"seed\": {},", f.seed);
-            let _ = writeln!(out, "      \"kernel\": \"{}\",", escape(&f.kernel));
-            let _ = writeln!(out, "      \"kind\": \"{}\",", f.kind);
-            let _ = writeln!(out, "      \"detail\": \"{}\",", escape(&f.detail));
-            let _ = writeln!(out, "      \"fixture\": \"{}\"", escape(&f.fixture));
-            out.push_str(if i + 1 < self.failures.len() { "    },\n" } else { "    }\n" });
-        }
-        out.push_str("  ]\n}\n");
-        out
+        let families = self
+            .families
+            .iter()
+            .map(|(family, &(run, failed))| {
+                (
+                    family.to_string(),
+                    Json::obj_inline(vec![
+                        ("run", Json::usize(run)),
+                        ("failed", Json::usize(failed)),
+                    ]),
+                )
+            })
+            .collect();
+        let failures = self
+            .failures
+            .iter()
+            .map(|f| {
+                Json::obj(vec![
+                    ("index", Json::usize(f.index)),
+                    ("family", Json::str(f.family)),
+                    ("seed", Json::u64(f.seed)),
+                    ("kernel", Json::str(&f.kernel)),
+                    ("kind", Json::str(f.kind)),
+                    ("detail", Json::str(&f.detail)),
+                    ("fixture", Json::str(&f.fixture)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("master_seed", Json::u64(self.master_seed)),
+            ("device", Json::str(&self.device)),
+            ("cases_run", Json::usize(self.cases_run)),
+            ("kernels_run", Json::usize(self.kernels_run)),
+            ("num_failures", Json::usize(self.failures.len())),
+            ("families", Json::Obj(families)),
+            ("failures", Json::arr(failures)),
+        ])
+        .render()
     }
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control bytes).
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -178,5 +170,29 @@ mod tests {
         assert!(json.contains("\"kind\": \"value-mismatch\""), "{json}");
         assert!(json.contains("\"zero-nnz\": {\"run\": 1, \"failed\": 0}"), "{json}");
         assert!(json.contains("M1 K1 N1"), "{json}");
+    }
+
+    /// Pins the exact serialized prefix, so the shared-serializer port (and
+    /// any future change to it) cannot silently reshape FUZZ.json.
+    #[test]
+    fn json_bytes_pinned() {
+        let report = FuzzReport::new(3, "RTX4090");
+        let json = report.to_json();
+        let head = "{\n\
+                    \x20\x20\"master_seed\": 3,\n\
+                    \x20\x20\"device\": \"RTX4090\",\n\
+                    \x20\x20\"cases_run\": 0,\n\
+                    \x20\x20\"kernels_run\": 0,\n\
+                    \x20\x20\"num_failures\": 0,\n\
+                    \x20\x20\"families\": {\n";
+        assert!(json.starts_with(head), "{json}");
+        // Each family is one inline-object line, then an empty failures array.
+        for &f in family_names() {
+            assert!(
+                json.contains(&format!("    \"{f}\": {{\"run\": 0, \"failed\": 0}}")),
+                "{json}"
+            );
+        }
+        assert!(json.ends_with("  \"failures\": [\n  ]\n}\n"), "{json}");
     }
 }

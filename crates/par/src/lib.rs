@@ -52,9 +52,11 @@
 mod arena;
 pub mod cache;
 pub mod hash;
+pub mod replay;
 
 pub use arena::{with_arena, ScratchArena};
 pub use cache::{front_tier_enabled, set_front_tier_enabled, FrontTier};
+pub use replay::{replay_assignments, Replay};
 
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -188,6 +190,29 @@ impl ShardPlan {
     pub fn num_bands(&self) -> usize {
         self.bands.len()
     }
+
+    /// The half-open *chunk-index* ranges grouped into each worker band, in
+    /// order. `band_ranges()[w]` is the initial content of worker `w`'s
+    /// deque; the sched lints audit these against [`ShardPlan::chunk_ranges`]
+    /// for coverage, disjointness and weight conservation.
+    pub fn band_ranges(&self) -> &[(usize, usize)] {
+        &self.bands
+    }
+
+    /// Builds a plan directly from its parts, **without validation**.
+    ///
+    /// For the schedule checker and for mutation tests that need to seed a
+    /// deliberately illegal plan (overlapping chunks, gapped bands) and
+    /// prove the sched lints catch it. An invalid plan fails those lints —
+    /// it is never undefined behavior — but feeding one to the execution
+    /// engines is a caller bug.
+    pub fn from_raw_parts(
+        n: usize,
+        chunks: Vec<(usize, usize)>,
+        bands: Vec<(usize, usize)>,
+    ) -> Self {
+        ShardPlan { n, chunks, bands }
+    }
 }
 
 /// Cuts `0..n` into at most `parts` contiguous ranges of approximately
@@ -292,6 +317,52 @@ pub fn set_virtual_time(on: bool) {
 /// Whether virtual-time measurement mode is active.
 pub fn virtual_time_enabled() -> bool {
     VIRTUAL_TIME.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Execution log (for the sched lints)
+// ---------------------------------------------------------------------------
+
+/// One engine invocation as observed by the execution log: enough to audit
+/// the nested-parallelism rule (`in_worker` ⇒ exactly one band) and steal
+/// activity after the fact. See [`set_exec_log`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecRecord {
+    /// Items the invocation covered.
+    pub n: usize,
+    /// Worker bands the invocation actually ran with (1 = serial path).
+    pub bands_used: usize,
+    /// Whether the calling thread was already a dtc-par worker.
+    pub in_worker_at_entry: bool,
+    /// Chunks obtained by stealing rather than from the own deque.
+    pub steals: u64,
+    /// Whether the invocation ran in virtual-time replay mode.
+    pub virtual_mode: bool,
+}
+
+static EXEC_LOG_ON: AtomicBool = AtomicBool::new(false);
+
+fn exec_log() -> &'static Mutex<Vec<ExecRecord>> {
+    static LOG: OnceLock<Mutex<Vec<ExecRecord>>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Turns the execution log on or off (off by default: logging takes a
+/// process-wide lock per invocation, so it is a diagnostic mode, not a
+/// production one). Enabling does not clear records already held.
+pub fn set_exec_log(on: bool) {
+    EXEC_LOG_ON.store(on, Ordering::Relaxed);
+}
+
+/// Takes every record logged since the last drain.
+pub fn drain_exec_log() -> Vec<ExecRecord> {
+    std::mem::take(&mut *exec_log().lock().unwrap_or_else(PoisonError::into_inner))
+}
+
+fn log_exec(record: ExecRecord) {
+    if EXEC_LOG_ON.load(Ordering::Relaxed) {
+        exec_log().lock().unwrap_or_else(PoisonError::into_inner).push(record);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -553,8 +624,9 @@ where
 {
     let _cold = FlagGuard::set(&HOT_LOOP, false);
     let n = plan.n;
+    let entered_in_worker = in_worker();
     let started = Instant::now();
-    if plan.bands.len() <= 1 || in_worker() {
+    if plan.bands.len() <= 1 || entered_in_worker {
         let mut out = Vec::with_capacity(n);
         arena::with_worker_arena(0, |scratch| {
             let _worker = FlagGuard::set(&IN_WORKER, true);
@@ -565,6 +637,13 @@ where
         });
         let wall = started.elapsed().as_nanos() as u64;
         record_invocation(wall, wall, wall, 0, n as u64, 1);
+        log_exec(ExecRecord {
+            n,
+            bands_used: 1,
+            in_worker_at_entry: entered_in_worker,
+            steals: 0,
+            virtual_mode: virtual_time_enabled(),
+        });
         return out;
     }
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
@@ -584,6 +663,13 @@ where
     };
     let wall = started.elapsed().as_nanos() as u64;
     record_invocation(wall, busy_sum, busy_max, steals, n as u64, plan.bands.len());
+    log_exec(ExecRecord {
+        n,
+        bands_used: plan.bands.len(),
+        in_worker_at_entry: entered_in_worker,
+        steals,
+        virtual_mode: virtual_time_enabled(),
+    });
     slots
         .into_iter()
         .map(|slot| slot.expect("engine invariant: every index computed exactly once"))
@@ -694,8 +780,9 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    let entered_in_worker = in_worker();
     let started = Instant::now();
-    if plan.bands.len() <= 1 || in_worker() {
+    if plan.bands.len() <= 1 || entered_in_worker {
         let n_chunks = plan.n as u64;
         {
             let _worker = FlagGuard::set(&IN_WORKER, true);
@@ -706,6 +793,13 @@ where
         }
         let wall = started.elapsed().as_nanos() as u64;
         record_invocation(wall, wall, wall, 0, n_chunks, 1);
+        log_exec(ExecRecord {
+            n: plan.n,
+            bands_used: 1,
+            in_worker_at_entry: entered_in_worker,
+            steals: 0,
+            virtual_mode: virtual_time_enabled(),
+        });
         return;
     }
     let len = data.len();
@@ -739,6 +833,13 @@ where
     };
     let wall = started.elapsed().as_nanos() as u64;
     record_invocation(wall, busy_sum, busy_max, steals, plan.n as u64, plan.bands.len());
+    log_exec(ExecRecord {
+        n: plan.n,
+        bands_used: plan.bands.len(),
+        in_worker_at_entry: entered_in_worker,
+        steals,
+        virtual_mode: virtual_time_enabled(),
+    });
 }
 
 /// Runs two independent closures, in parallel when more than one thread is

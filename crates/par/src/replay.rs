@@ -1,0 +1,129 @@
+//! Deterministic single-threaded replay of an explicit steal schedule.
+//!
+//! The model checker in `dtc-sched` enumerates steal schedules of a
+//! [`ShardPlan`] as an ordered list of `(worker, chunk)` assignments; this
+//! module executes one such list against the real engine substrate — the
+//! same pooled [`ScratchArena`]s, the same hot-loop / in-worker thread
+//! flags the threaded engine sets — and *reports* what happened instead of
+//! asserting, so the sched lints can turn violations (a slot written
+//! twice, a chunk never run) into diagnostics rather than panics.
+
+use crate::arena::{self, ScratchArena};
+use crate::{FlagGuard, ShardPlan, HOT_LOOP, IN_WORKER};
+
+/// What one replayed schedule did to the result slots.
+///
+/// A well-formed schedule (every chunk exactly once) yields
+/// `slot_writes == [1; n]` and all-`Some` results; the checker compares
+/// results across schedules for bit-identity.
+#[derive(Debug)]
+pub struct Replay<R> {
+    /// One entry per item index; `None` if the schedule never computed it.
+    pub results: Vec<Option<R>>,
+    /// Times each item slot was written across the whole replay.
+    pub slot_writes: Vec<u32>,
+    /// Assignments that named a valid chunk and were executed.
+    pub chunks_run: usize,
+    /// Assignments that named a chunk index outside the plan (skipped).
+    pub bad_assignments: usize,
+}
+
+impl<R> Replay<R> {
+    /// The results in index order, or `None` if any slot was never written.
+    pub fn into_results(self) -> Option<Vec<R>> {
+        self.results.into_iter().collect()
+    }
+}
+
+/// Replays an explicit ordered assignment of chunks to workers.
+///
+/// Each `(worker, chunk)` entry executes the plan's chunk `chunk` on
+/// behalf of worker `worker`: the body runs with that worker's pooled
+/// arena and under the same `IN_WORKER`/`HOT_LOOP` flags as threaded
+/// execution, one assignment at a time on the calling thread. `f` is
+/// called as `f(item_index, worker, scratch)` so checkers can observe
+/// which simulated worker computed each item.
+///
+/// Nothing is asserted: duplicate or missing chunks surface in the
+/// returned [`Replay`], out-of-range chunk indices are counted and
+/// skipped.
+pub fn replay_assignments<R, F>(plan: &ShardPlan, order: &[(usize, usize)], mut f: F) -> Replay<R>
+where
+    F: FnMut(usize, usize, &mut ScratchArena) -> R,
+{
+    let n = plan.len();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let mut slot_writes = vec![0u32; n];
+    let chunks = plan.chunk_ranges();
+    let mut chunks_run = 0usize;
+    let mut bad_assignments = 0usize;
+    for &(worker, chunk) in order {
+        let Some(&(s, e)) = chunks.get(chunk) else {
+            bad_assignments += 1;
+            continue;
+        };
+        chunks_run += 1;
+        arena::with_worker_arena(worker, |scratch| {
+            let _worker = FlagGuard::set(&IN_WORKER, true);
+            let _hot = FlagGuard::set(&HOT_LOOP, true);
+            for i in s..e {
+                slot_writes[i] = slot_writes[i].saturating_add(1);
+                results[i] = Some(f(i, worker, scratch));
+            }
+        });
+    }
+    Replay { results, slot_writes, chunks_run, bad_assignments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hot_loop_active;
+
+    /// The owner-order schedule: every band's chunks in front-to-back
+    /// order, bands round-robined — one legal schedule among many.
+    fn owner_order(plan: &ShardPlan) -> Vec<(usize, usize)> {
+        let mut order = Vec::new();
+        for (w, &(cb, ce)) in plan.band_ranges().iter().enumerate() {
+            for c in cb..ce {
+                order.push((w, c));
+            }
+        }
+        order
+    }
+
+    #[test]
+    fn full_schedule_matches_serial() {
+        let plan = ShardPlan::even(37, 3);
+        let replay = replay_assignments(&plan, &owner_order(&plan), |i, _, _| i * i);
+        assert_eq!(replay.bad_assignments, 0);
+        assert!(replay.slot_writes.iter().all(|&w| w == 1));
+        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        assert_eq!(replay.into_results(), Some(expect));
+    }
+
+    #[test]
+    fn duplicate_and_missing_chunks_are_reported_not_asserted() {
+        let plan = ShardPlan::even(16, 2);
+        let nchunks = plan.chunk_ranges().len();
+        // Chunk 0 twice, chunk 1 never, one out-of-range assignment.
+        let mut order = vec![(0, 0), (1, 0), (0, nchunks + 5)];
+        order.extend((2..nchunks).map(|c| (1, c)));
+        let replay = replay_assignments(&plan, &order, |i, _, _| i);
+        assert_eq!(replay.bad_assignments, 1);
+        let (s0, e0) = plan.chunk_ranges()[0];
+        assert!(replay.slot_writes[s0..e0].iter().all(|&w| w == 2));
+        let (s1, e1) = plan.chunk_ranges()[1];
+        assert!(replay.slot_writes[s1..e1].iter().all(|&w| w == 0));
+        assert!(replay.into_results().is_none());
+    }
+
+    #[test]
+    fn replay_runs_under_engine_flags() {
+        let plan = ShardPlan::even(8, 2);
+        let replay = replay_assignments(&plan, &owner_order(&plan), |_, _, _| hot_loop_active());
+        assert_eq!(replay.into_results(), Some(vec![true; 8]));
+        assert!(!hot_loop_active());
+    }
+}

@@ -56,8 +56,8 @@ mod pool;
 mod server;
 mod telemetry;
 
-pub use pool::{EnginePool, Fetched, PoolConfig, PoolKey};
-pub use server::{BatchOutcome, Request, Response, SpmmServer};
+pub use pool::{drain_pool_events, set_pool_event_log, EnginePool, Fetched, PoolConfig, PoolKey};
+pub use server::{admission_check, BatchOutcome, Request, Response, SpmmServer};
 
 /// Server-wide configuration: queue bound, batch cap, pool sizing and the
 /// optional per-batch verification gate.
@@ -72,10 +72,23 @@ pub struct ServeConfig {
     /// Replay the dtc-verify lints over each batch's trace before
     /// executing, failing the batch on any error-severity diagnostic.
     pub verify: bool,
+    /// Statically verify every freshly prepared engine at admission time
+    /// ([`admission_check`]): trace lints at a probe width plus shard-plan
+    /// lints, run once inside the prepare (so the cost is amortized like
+    /// the conversion itself), rejecting an illegal engine with
+    /// [`DtcError::Verify`](dtc_core::DtcError::Verify) before it can
+    /// fail mid-request. On by default.
+    pub admission_verify: bool,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { pool: PoolConfig::default(), max_queue: 256, max_batch: 16, verify: false }
+        ServeConfig {
+            pool: PoolConfig::default(),
+            max_queue: 256,
+            max_batch: 16,
+            verify: false,
+            admission_verify: true,
+        }
     }
 }

@@ -26,8 +26,49 @@
 use dtc_core::{DtcError, EngineConfig, EngineKind, KeyMaterial, SpmmEngine};
 use dtc_par::hash::fnv1a;
 use dtc_par::FrontTier;
+use dtc_verify::PoolEvent;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Pool event log (for the sched protocol lints)
+// ---------------------------------------------------------------------------
+
+static POOL_EVENT_LOG_ON: AtomicBool = AtomicBool::new(false);
+
+fn pool_event_log() -> &'static Mutex<Vec<PoolEvent>> {
+    static LOG: OnceLock<Mutex<Vec<PoolEvent>>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Switches pool-event capture on or off (off by default; enabling does
+/// not clear previously captured events). While on, every pool emits
+/// [`PoolEvent`]s at its protocol points — slot insert, engine publish,
+/// slot removal and front-tier invalidation — for
+/// [`dtc_verify::verify_pool_events`] to audit. Used by `schedcheck` and
+/// the protocol tests; the log is process-wide.
+pub fn set_pool_event_log(on: bool) {
+    POOL_EVENT_LOG_ON.store(on, Ordering::Relaxed);
+}
+
+/// Drains and returns every captured pool event, in emission order.
+pub fn drain_pool_events() -> Vec<PoolEvent> {
+    std::mem::take(&mut *pool_event_log().lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+}
+
+/// Appends events under ONE log-lock acquisition, so protocol pairs that
+/// the lints require to be adjacent (remove + front-invalidate, emitted
+/// from the same pool critical section) cannot be split by a concurrent
+/// pool's events.
+fn log_pool_events(events: &[PoolEvent]) {
+    if POOL_EVENT_LOG_ON.load(Ordering::Relaxed) {
+        pool_event_log()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .extend_from_slice(events);
+    }
+}
 
 /// Full pool identity of a prepared engine.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -243,6 +284,10 @@ impl EnginePool {
                     inner.buckets.entry(primary).or_default().push(idx);
                     inner.front.insert(primary, key.clone(), idx);
                     inner.len += 1;
+                    // The protocol invariant the sched lints audit: the slot
+                    // is filed (here, under the pool lock) BEFORE the engine
+                    // build runs, so same-key callers coalesce onto the cell.
+                    log_pool_events(&[PoolEvent::Insert { primary }]);
                     crate::telemetry::pool_misses().incr();
                     (cell, false)
                 }
@@ -253,7 +298,11 @@ impl EnginePool {
         let result = cell
             .get_or_init(|| {
                 let _span = dtc_telemetry::span("serve.prepare");
-                build().map(Arc::from)
+                let built = build().map(Arc::from);
+                if built.is_ok() {
+                    log_pool_events(&[PoolEvent::Publish { primary }]);
+                }
+                built
             })
             .clone();
         match result {
@@ -309,6 +358,12 @@ impl EnginePool {
             }
         }
         inner.front.invalidate(slot.primary, &slot.key);
+        // One append: removal and front invalidation happen in this same
+        // pool critical section, and the lint checks they stay adjacent.
+        log_pool_events(&[
+            PoolEvent::Remove { primary: slot.primary },
+            PoolEvent::FrontInvalidate { primary: slot.primary },
+        ]);
         inner.free.push(idx);
         inner.len -= 1;
     }
@@ -472,6 +527,40 @@ mod tests {
         dtc_par::set_front_tier_enabled(true);
         assert!(exact_only.hit);
         assert!(Arc::ptr_eq(&two_tier.engine, &exact_only.engine));
+    }
+
+    #[test]
+    fn pool_event_stream_passes_the_protocol_lints() {
+        let _g = SWITCH.lock().unwrap();
+        // Capture the real protocol: two misses, hits, then an eviction.
+        // The captured stream must satisfy every pool lint — insert before
+        // publish, remove adjacent to its front invalidation.
+        set_pool_event_log(true);
+        let _ = drain_pool_events();
+        let pool = EnginePool::new(PoolConfig { capacity: 2, warmup_uses: 1 });
+        let config = EngineConfig::default();
+        let a = uniform(64, 64, 300, 9201);
+        let b = uniform(64, 64, 300, 9202);
+        let c = uniform(48, 48, 200, 9203);
+        pool.get_or_prepare(key_of(&a, &config), prepare_dtc(&a, &config)).unwrap();
+        pool.get_or_prepare(key_of(&a, &config), prepare_dtc(&a, &config)).unwrap();
+        pool.get_or_prepare(key_of(&b, &config), prepare_dtc(&b, &config)).unwrap();
+        pool.get_or_prepare(key_of(&b, &config), prepare_dtc(&b, &config)).unwrap();
+        pool.get_or_prepare(key_of(&c, &config), prepare_dtc(&c, &config)).unwrap(); // evicts A
+        set_pool_event_log(false);
+        let events = drain_pool_events();
+
+        let pa = key_of(&a, &config).primary();
+        assert!(events.contains(&PoolEvent::Insert { primary: pa }), "{events:?}");
+        assert!(events.contains(&PoolEvent::Publish { primary: pa }), "{events:?}");
+        let rm = events
+            .iter()
+            .position(|&e| e == PoolEvent::Remove { primary: pa })
+            .expect("A was evicted");
+        assert_eq!(events.get(rm + 1), Some(&PoolEvent::FrontInvalidate { primary: pa }));
+
+        let diags = dtc_verify::verify_pool_events("pool", &events);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

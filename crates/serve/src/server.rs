@@ -20,9 +20,59 @@ use crate::pool::{EnginePool, PoolKey};
 use crate::ServeConfig;
 use dtc_core::{DtcError, EngineConfig, EngineKind, KeyMaterial, SpmmEngine};
 use dtc_formats::{CsrMatrix, DenseMatrix};
-use dtc_verify::{Severity, TraceCase};
+use dtc_par::ShardPlan;
+use dtc_verify::{SchedCase, Severity, TraceCase};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
+
+/// Admission-time static verification of a freshly prepared engine: the
+/// lints that can run *before the first execute*, so an illegal engine is
+/// rejected at prepare time ([`DtcError::Verify`]) instead of failing —
+/// or silently miscounting — mid-request.
+///
+/// Two families run:
+///
+/// - the dtc-verify trace lints over the engine's lowering at a small
+///   probe width (structural invariants, SM resource legality, cost-table
+///   coverage — a device model with a zeroed cost table is caught here);
+/// - the concurrency plan lints over the [`ShardPlan`] the parallel
+///   execution paths would cut for this engine's row space (chunk/band
+///   coverage and disjointness).
+///
+/// The server composes this into the pool's prepare closure when
+/// [`ServeConfig::admission_verify`] is set (the default), so a failed
+/// check behaves exactly like a failed prepare: the error surfaces to the
+/// requesting batch and nothing is cached — a later request under a fixed
+/// configuration retries cleanly.
+pub fn admission_check(engine: &dyn SpmmEngine, config: &EngineConfig) -> Result<(), DtcError> {
+    let _span = dtc_telemetry::span("serve.admission_check");
+    const PROBE_COLS: usize = 8;
+    let trace = engine.trace(PROBE_COLS, &config.device, false);
+    let case = TraceCase::new(engine.name(), &config.device, &trace);
+    let mut errors: Vec<String> = dtc_verify::verify_trace(&case)
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| d.to_string())
+        .collect();
+
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let plan = ShardPlan::even(engine.rows(), threads);
+    errors.extend(
+        dtc_verify::verify_plan(&SchedCase::new(engine.name(), &plan))
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.to_string()),
+    );
+
+    match errors.first() {
+        Some(first) => Err(DtcError::Verify {
+            kernel: engine.name().to_string(),
+            diagnostic: first.clone(),
+            errors: errors.len(),
+        }),
+        None => Ok(()),
+    }
+}
 
 /// One tenant request: multiply `matrix` by `b` on an engine of family
 /// `kind` prepared under `config`.
@@ -175,7 +225,11 @@ impl SpmmServer {
         let _span = dtc_telemetry::span("serve.batch");
         let head = &batch[0].req;
         let fetched = self.pool.get_or_prepare(batch[0].key.clone(), || {
-            dtc_core::prepare(head.kind, &head.config, &head.matrix)
+            let engine = dtc_core::prepare(head.kind, &head.config, &head.matrix)?;
+            if self.cfg.admission_verify {
+                admission_check(engine.as_ref(), &head.config)?;
+            }
+            Ok(engine)
         })?;
         let engine = fetched.engine;
 

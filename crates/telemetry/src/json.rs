@@ -1,0 +1,226 @@
+//! The one hand-rolled JSON serializer shared by every report writer.
+//!
+//! The workspace is offline (no serde), so `dtc-verify`'s `LintReport`,
+//! `dtc-fuzz`'s `FUZZ.json`, and each `BENCH_*` bin used to carry its own
+//! copy of string escaping and pretty-printing — four slightly different
+//! ones. This module is the single copy. A [`Json`] value is built
+//! bottom-up and rendered deterministically: same tree, same bytes, on
+//! every host and thread count (numbers are carried as pre-formatted
+//! strings, so formatting decisions stay with the caller).
+//!
+//! Two layout styles cover every report in the workspace:
+//!
+//! - **block** objects/arrays ([`Json::obj`], [`Json::arr`]): one entry
+//!   per line, two-space indent steps;
+//! - **inline** objects/arrays ([`Json::obj_inline`],
+//!   [`Json::arr_inline`]): single-line, for leaf records like one lint
+//!   diagnostic or one sweep point.
+
+use std::fmt::Write as _;
+
+/// One JSON value with an explicit layout style. Build with the
+/// constructors; render with [`Json::render`].
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A pre-formatted literal: number, bool or null. Emitted verbatim.
+    Raw(String),
+    /// A string; escaped at render time.
+    Str(String),
+    /// A block array: one element per line.
+    Arr(Vec<Json>),
+    /// An inline array: `[a, b, c]` on one line.
+    ArrInline(Vec<Json>),
+    /// A block object: one field per line.
+    Obj(Vec<(String, Json)>),
+    /// An inline object: `{"a": 1, "b": 2}` on one line.
+    ObjInline(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value (escaped at render time).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A pre-formatted literal emitted verbatim (caller-controlled number
+    /// formatting, `true`/`false`, `null`).
+    pub fn raw(s: impl Into<String>) -> Json {
+        Json::Raw(s.into())
+    }
+
+    /// An unsigned integer.
+    pub fn u64(v: u64) -> Json {
+        Json::Raw(v.to_string())
+    }
+
+    /// A `usize` (rendered as a plain integer).
+    pub fn usize(v: usize) -> Json {
+        Json::Raw(v.to_string())
+    }
+
+    /// A boolean.
+    pub fn bool(v: bool) -> Json {
+        Json::Raw(v.to_string())
+    }
+
+    /// A float with a fixed number of decimals — the caller picks the
+    /// precision so reports stay byte-stable.
+    pub fn f(v: f64, decimals: usize) -> Json {
+        Json::Raw(format!("{v:.decimals$}"))
+    }
+
+    /// A block object from `(key, value)` pairs.
+    pub fn obj(fields: Vec<(impl Into<String>, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An inline (single-line) object from `(key, value)` pairs.
+    pub fn obj_inline(fields: Vec<(impl Into<String>, Json)>) -> Json {
+        Json::ObjInline(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// A block array.
+    pub fn arr(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+
+    /// An inline (single-line) array.
+    pub fn arr_inline(items: Vec<Json>) -> Json {
+        Json::ArrInline(items)
+    }
+
+    /// Renders the tree with a trailing newline — the exact bytes every
+    /// report file in the workspace is written with.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Raw(s) => out.push_str(s),
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Json::ArrInline(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write(out, indent);
+                }
+                out.push(']');
+            }
+            Json::ObjInline(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\": ");
+                    v.write(out, indent);
+                }
+                out.push('}');
+            }
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 2);
+                    item.write(out, indent + 2);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, indent + 2);
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\": ");
+                    v.write(out, indent + 2);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push(' ');
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(s, &mut out);
+    out
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd\te\rf\u{1}"), "a\\\"b\\\\c\\nd\\te\\rf\\u0001");
+    }
+
+    #[test]
+    fn block_and_inline_render_byte_stable() {
+        let doc = Json::obj(vec![
+            ("name", Json::str("x\"y")),
+            ("count", Json::u64(3)),
+            ("ratio", Json::f(0.5, 3)),
+            (
+                "points",
+                Json::arr(vec![
+                    Json::obj_inline(vec![("a", Json::usize(1)), ("b", Json::bool(true))]),
+                    Json::obj_inline(vec![("a", Json::usize(2)), ("b", Json::bool(false))]),
+                ]),
+            ),
+            ("empty", Json::arr(vec![])),
+            ("flat", Json::arr_inline(vec![Json::u64(1), Json::u64(2)])),
+        ]);
+        let expect = "{\n  \"name\": \"x\\\"y\",\n  \"count\": 3,\n  \"ratio\": 0.500,\n  \
+                      \"points\": [\n    {\"a\": 1, \"b\": true},\n    {\"a\": 2, \"b\": false}\n  \
+                      ],\n  \"empty\": [\n  ],\n  \"flat\": [1, 2]\n}\n";
+        assert_eq!(doc.render(), expect);
+    }
+
+    #[test]
+    fn nested_block_objects_indent_by_two() {
+        let doc =
+            Json::obj(vec![("outer", Json::obj(vec![("inner", Json::arr(vec![Json::str("v")]))]))]);
+        let expect = "{\n  \"outer\": {\n    \"inner\": [\n      \"v\"\n    ]\n  }\n}\n";
+        assert_eq!(doc.render(), expect);
+    }
+}

@@ -1,0 +1,123 @@
+//! Lint documentation: `--explain` lookups and the generated
+//! `docs/LINTS.md` reference.
+//!
+//! Both registries — the trace/report lints ([`crate::catalog`]) and the
+//! concurrency lints ([`crate::sched_catalog`]) — feed one generator, so
+//! the checked-in markdown can never drift from the code: a test in the
+//! root `tests/` tree re-renders it and compares bytes, and
+//! `tracelint --explain <lint-id>` serves the same rows interactively.
+
+use crate::{catalog, sched_catalog, Severity};
+
+/// One documented lint, registry-agnostic: stable id, fixed severity,
+/// one-line summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintDoc {
+    /// The stable kebab-case lint id.
+    pub id: &'static str,
+    /// The lint's fixed severity.
+    pub severity: Severity,
+    /// One-line description of what the lint catches.
+    pub summary: &'static str,
+}
+
+/// Every lint in both registries, in report order (trace/report lints
+/// first, then the concurrency lints).
+pub fn all_lints() -> Vec<LintDoc> {
+    catalog()
+        .into_iter()
+        .map(|l| LintDoc { id: l.id.as_str(), severity: l.severity, summary: l.summary })
+        .chain(sched_catalog().into_iter().map(|l| LintDoc {
+            id: l.id.as_str(),
+            severity: l.severity,
+            summary: l.summary,
+        }))
+        .collect()
+}
+
+/// Looks up one lint by its stable id, across both registries.
+pub fn explain_lint(id: &str) -> Option<LintDoc> {
+    all_lints().into_iter().find(|l| l.id == id)
+}
+
+/// Renders the `docs/LINTS.md` reference — one table per registry. The
+/// checked-in file is pinned byte-for-byte against this output by
+/// `tests/lint_docs.rs`.
+pub fn lints_markdown() -> String {
+    let mut out = String::new();
+    out.push_str("# Lint reference\n\n");
+    out.push_str("Generated from the registries in `dtc-verify` — do not edit by hand.\n");
+    out.push_str(
+        "Regenerate with `cargo run --release -p dtc-bench --bin tracelint -- --lints-md`;\n",
+    );
+    out.push_str("`tests/lint_docs.rs` fails when this file drifts from the code.\n");
+    out.push_str("Look up a single lint with `tracelint --explain <lint-id>`.\n");
+
+    let table = |out: &mut String, title: &str, intro: &str, rows: &[LintDoc]| {
+        out.push_str(&format!("\n## {title}\n\n{intro}\n\n"));
+        out.push_str("| id | severity | summary |\n|---|---|---|\n");
+        for l in rows {
+            out.push_str(&format!("| `{}` | {} | {} |\n", l.id, l.severity.as_str(), l.summary));
+        }
+    };
+    let trace: Vec<LintDoc> = catalog()
+        .into_iter()
+        .map(|l| LintDoc { id: l.id.as_str(), severity: l.severity, summary: l.summary })
+        .collect();
+    let sched: Vec<LintDoc> = sched_catalog()
+        .into_iter()
+        .map(|l| LintDoc { id: l.id.as_str(), severity: l.severity, summary: l.summary })
+        .collect();
+    table(
+        &mut out,
+        "Trace and report lints",
+        "Run by `verify_trace` / `verify_report` over every lowered kernel trace \
+         (the `tracelint` CI gate) and, at admission time, by the serving layer.",
+        &trace,
+    );
+    table(
+        &mut out,
+        "Concurrency lints",
+        "Run by the `dtc-sched` model checker and the plan/exec-log/lock-graph/pool \
+         verifiers in `dtc_verify::sched` (the `schedcheck` CI gate).",
+        &sched,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explain_finds_lints_from_both_registries() {
+        let t = explain_lint("cost-table-coverage").expect("trace lint");
+        assert_eq!(t.severity, Severity::Error);
+        let s = explain_lint("sched-slot-exclusivity").expect("sched lint");
+        assert_eq!(s.severity, Severity::Error);
+        assert!(explain_lint("no-such-lint").is_none());
+    }
+
+    #[test]
+    fn markdown_covers_every_lint_exactly_once() {
+        let md = lints_markdown();
+        for l in all_lints() {
+            assert_eq!(
+                md.matches(&format!("| `{}` |", l.id)).count(),
+                1,
+                "lint {} must appear exactly once",
+                l.id
+            );
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_across_registries() {
+        let all = all_lints();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.id, b.id, "duplicate lint id across registries");
+            }
+        }
+    }
+}

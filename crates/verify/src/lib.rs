@@ -18,7 +18,11 @@
 //!   counter identities;
 //! - [`catalog`] lists every lint with its stable id and severity;
 //! - [`LintReport`] aggregates a kernel x dataset sweep into the JSON
-//!   artifact the `tracelint` bench bin writes and CI gates on.
+//!   artifact the `tracelint` bench bin writes and CI gates on;
+//! - the [`sched`] module carries the concurrency-lint families — shard
+//!   plans, the execution log, the workspace lock graph and the serving
+//!   pool protocol — consumed by the `dtc-sched` model checker and the
+//!   `schedcheck` bin.
 //!
 //! # Example
 //!
@@ -40,14 +44,21 @@ mod case;
 mod conservation;
 mod coverage;
 mod diag;
+pub mod docs;
 mod report;
 mod resources;
+pub mod sched;
 mod sol;
 mod structural;
 
 pub use case::{ProblemSpec, TraceCase};
 pub use diag::{catalog, Diagnostic, LintId, LintInfo, Location, Severity};
+pub use docs::{all_lints, explain_lint, lints_markdown, LintDoc};
 pub use report::{CaseResult, LintReport};
+pub use sched::{
+    sched_catalog, verify_exec_log, verify_lock_graph, verify_plan, verify_pool_events, LockGraph,
+    PoolEvent, SchedCase, SchedDiagnostic, SchedLintId,
+};
 
 use std::sync::OnceLock;
 

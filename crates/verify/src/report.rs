@@ -1,8 +1,8 @@
-//! Aggregated lint results over a kernel x dataset sweep, with a
-//! hand-rolled JSON serialization (the workspace is offline — no serde).
+//! Aggregated lint results over a kernel x dataset sweep, serialized
+//! through the workspace's shared JSON module ([`dtc_telemetry::json`]).
 
 use crate::diag::{Diagnostic, Severity};
-use std::fmt::Write as _;
+use dtc_telemetry::json::Json;
 
 /// The lint results of one `(kernel, dataset)` case.
 #[derive(Debug, Clone)]
@@ -44,62 +44,48 @@ impl LintReport {
         self.count(Severity::Error) > 0
     }
 
-    /// Serializes the report as pretty-printed JSON.
+    /// Serializes the report as pretty-printed JSON (byte-stable: same
+    /// report, same bytes).
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n");
-        let _ = writeln!(out, "  \"device\": \"{}\",", escape(&self.device));
-        let _ = writeln!(out, "  \"num_cases\": {},", self.cases.len());
-        let _ = writeln!(out, "  \"errors\": {},", self.count(Severity::Error));
-        let _ = writeln!(out, "  \"warnings\": {},", self.count(Severity::Warning));
-        let _ = writeln!(out, "  \"infos\": {},", self.count(Severity::Info));
-        out.push_str("  \"cases\": [\n");
-        for (i, case) in self.cases.iter().enumerate() {
-            out.push_str("    {\n");
-            let _ = writeln!(out, "      \"kernel\": \"{}\",", escape(&case.kernel));
-            let _ = writeln!(out, "      \"dataset\": \"{}\",", escape(&case.dataset));
-            let _ = writeln!(out, "      \"num_tbs\": {},", case.num_tbs);
-            let _ = writeln!(out, "      \"num_classes\": {},", case.num_classes);
-            out.push_str("      \"diagnostics\": [\n");
-            for (j, d) in case.diagnostics.iter().enumerate() {
-                out.push_str("        {");
-                let _ = write!(out, "\"lint\": \"{}\", ", d.lint.as_str());
-                let _ = write!(out, "\"severity\": \"{}\", ", d.severity.as_str());
-                if let Some(c) = d.location.class {
-                    let _ = write!(out, "\"class\": {c}, ");
-                }
-                if let Some(t) = d.location.tb {
-                    let _ = write!(out, "\"tb\": {t}, ");
-                }
-                let _ = write!(out, "\"message\": \"{}\"", escape(&d.message));
-                out.push('}');
-                out.push_str(if j + 1 < case.diagnostics.len() { ",\n" } else { "\n" });
-            }
-            out.push_str("      ]\n");
-            out.push_str(if i + 1 < self.cases.len() { "    },\n" } else { "    }\n" });
-        }
-        out.push_str("  ]\n}\n");
-        out
+        let cases = self
+            .cases
+            .iter()
+            .map(|case| {
+                let diags = case.diagnostics.iter().map(diagnostic_json).collect();
+                Json::obj(vec![
+                    ("kernel", Json::str(&case.kernel)),
+                    ("dataset", Json::str(&case.dataset)),
+                    ("num_tbs", Json::usize(case.num_tbs)),
+                    ("num_classes", Json::usize(case.num_classes)),
+                    ("diagnostics", Json::arr(diags)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("device", Json::str(&self.device)),
+            ("num_cases", Json::usize(self.cases.len())),
+            ("errors", Json::usize(self.count(Severity::Error))),
+            ("warnings", Json::usize(self.count(Severity::Warning))),
+            ("infos", Json::usize(self.count(Severity::Info))),
+            ("cases", Json::arr(cases)),
+        ])
+        .render()
     }
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control bytes).
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
+/// One diagnostic as a single-line JSON object (optional location fields
+/// are omitted, not null).
+fn diagnostic_json(d: &Diagnostic) -> Json {
+    let mut fields =
+        vec![("lint", Json::str(d.lint.as_str())), ("severity", Json::str(d.severity.as_str()))];
+    if let Some(c) = d.location.class {
+        fields.push(("class", Json::usize(c)));
     }
-    out
+    if let Some(t) = d.location.tb {
+        fields.push(("tb", Json::usize(t)));
+    }
+    fields.push(("message", Json::str(&d.message)));
+    Json::obj_inline(fields)
 }
 
 #[cfg(test)]
@@ -128,6 +114,44 @@ mod tests {
         assert!(report.has_errors());
         assert_eq!(report.count(Severity::Error), 1);
         assert_eq!(report.count(Severity::Warning), 0);
+    }
+
+    /// Pins the exact serialized bytes, so the shared-serializer port (and
+    /// any future change to it) cannot silently reshape TRACELINT.json.
+    #[test]
+    fn json_bytes_pinned() {
+        let mut report = LintReport::new("RTX4090");
+        report.cases.push(CaseResult {
+            kernel: "DTC-SpMM".into(),
+            dataset: "dense-diag".into(),
+            num_tbs: 7,
+            num_classes: 3,
+            diagnostics: vec![Diagnostic::new(
+                LintId::WarpSlots,
+                Location::tb(2),
+                "48 < 64".into(),
+            )],
+        });
+        let expect = "{\n\
+                      \x20\x20\"device\": \"RTX4090\",\n\
+                      \x20\x20\"num_cases\": 1,\n\
+                      \x20\x20\"errors\": 1,\n\
+                      \x20\x20\"warnings\": 0,\n\
+                      \x20\x20\"infos\": 0,\n\
+                      \x20\x20\"cases\": [\n\
+                      \x20\x20\x20\x20{\n\
+                      \x20\x20\x20\x20\x20\x20\"kernel\": \"DTC-SpMM\",\n\
+                      \x20\x20\x20\x20\x20\x20\"dataset\": \"dense-diag\",\n\
+                      \x20\x20\x20\x20\x20\x20\"num_tbs\": 7,\n\
+                      \x20\x20\x20\x20\x20\x20\"num_classes\": 3,\n\
+                      \x20\x20\x20\x20\x20\x20\"diagnostics\": [\n\
+                      \x20\x20\x20\x20\x20\x20\x20\x20{\"lint\": \"warp-slots\", \
+                      \"severity\": \"error\", \"tb\": 2, \"message\": \"48 < 64\"}\n\
+                      \x20\x20\x20\x20\x20\x20]\n\
+                      \x20\x20\x20\x20}\n\
+                      \x20\x20]\n\
+                      }\n";
+        assert_eq!(report.to_json(), expect);
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Lint-ID stability gate.
+//!
+//! Lint ids are a public, machine-consumed surface: they appear in
+//! `TRACELINT.json` / `SCHEDCHECK.json`, in `DtcError::Verify`
+//! diagnostics users grep for, and in `tracelint --explain` lookups.
+//! This test pins every registered id and its fixed severity — in both
+//! registries — against the checked-in `lint_ids.fixture`. Renaming a
+//! lint, changing its severity, or removing one is a breaking change and
+//! must update the fixture (and `docs/LINTS.md`) deliberately; appending
+//! a new lint appends a fixture line.
+
+#[test]
+fn registered_lint_ids_and_severities_are_stable() {
+    let fixture = include_str!("lint_ids.fixture");
+    let pinned: Vec<(&str, &str)> = fixture
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.split_once(' ').expect("fixture line is `<id> <severity>`"))
+        .collect();
+    let current: Vec<(&str, &str)> =
+        dtc_verify::all_lints().iter().map(|l| (l.id, l.severity.as_str())).collect();
+
+    for (i, (pin, cur)) in pinned.iter().zip(&current).enumerate() {
+        assert_eq!(
+            pin, cur,
+            "lint registry drifted from the fixture at row {i}: \
+             pinned {pin:?}, registry has {cur:?}"
+        );
+    }
+    assert!(
+        current.len() >= pinned.len(),
+        "a pinned lint was removed: fixture has {} rows, registry {}",
+        pinned.len(),
+        current.len()
+    );
+    assert_eq!(
+        current.len(),
+        pinned.len(),
+        "new lints registered — append them to lint_ids.fixture: {:?}",
+        &current[pinned.len()..]
+    );
+}

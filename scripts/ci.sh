@@ -30,6 +30,9 @@ cargo run --release -q -p dtc-bench --bin serve_bench -- --smoke
 echo "== cache_bench --smoke (two-tier <= exact-only steady state; collision verify-reject)"
 cargo run --release -q -p dtc-bench --bin cache_bench -- --smoke
 
+echo "== schedcheck --smoke (schedule-space model check; lock-order audit)"
+cargo run --release -q -p dtc-bench --bin schedcheck -- --smoke
+
 echo "== parallel_scaling --smoke (threads 1 and 4; critical-path gate 1.5x)"
 cargo run --release -q -p dtc-bench --bin parallel_scaling -- --smoke
 

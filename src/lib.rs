@@ -18,7 +18,12 @@
 //! - [`telemetry`] — the process-wide metrics registry behind the
 //!   `DTC_METRICS` JSON snapshot;
 //! - [`verify`] — the static trace/model analyzer behind the `tracelint`
-//!   CI gate (resource legality, conservation laws, speed-of-light);
+//!   CI gate (resource legality, conservation laws, speed-of-light), plus
+//!   the concurrency-lint registry (`verify::sched`);
+//! - [`sched`] — the bounded schedule-space model checker behind the
+//!   `schedcheck` CI gate: exhaustive steal-schedule enumeration with
+//!   partial-order reduction, replayed on the real engine substrate, and
+//!   the workspace lock-order audit;
 //! - [`fuzz`] — the deterministic differential fuzzing harness behind the
 //!   `fuzz` CI gate (adversarial generators, f64 + TF32-envelope oracles,
 //!   shrinking to minimal reproducers);
@@ -85,6 +90,7 @@ pub use dtc_fuzz as fuzz;
 pub use dtc_gnn as gnn;
 pub use dtc_par as par;
 pub use dtc_reorder as reorder;
+pub use dtc_sched as sched;
 pub use dtc_serve as serve;
 pub use dtc_sim as sim;
 pub use dtc_telemetry as telemetry;

@@ -1,0 +1,17 @@
+//! Pins `docs/LINTS.md` to the generator in `dtc_verify::docs`.
+//!
+//! The reference is generated, never hand-edited; this test fails the
+//! build when either the registries or the checked-in file change without
+//! the other. Regenerate with
+//! `cargo run --release -p dtc-bench --bin tracelint -- --lints-md`.
+
+#[test]
+fn checked_in_lints_md_matches_the_generator() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/LINTS.md");
+    let on_disk = std::fs::read_to_string(path).expect("docs/LINTS.md must be checked in");
+    let generated = dtc_spmm::verify::lints_markdown();
+    assert_eq!(
+        on_disk, generated,
+        "docs/LINTS.md is stale — regenerate with `tracelint --lints-md`"
+    );
+}

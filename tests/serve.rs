@@ -237,3 +237,45 @@ fn admission_rejects_overflow_and_malformed_requests() {
     }
     assert_eq!(server.queued(), 2);
 }
+
+/// Admission-time static verification: an engine prepared against a
+/// deliberately broken device model (zeroed Tensor-Core cost table) must
+/// be rejected with `DtcError::Verify` at prepare time — before the first
+/// execute — and the failed prepare must not occupy a pool slot. Fixing
+/// the configuration then succeeds under the (different) pool key.
+#[test]
+fn admission_verification_rejects_crafted_illegal_engine() {
+    let a = Arc::new(gen::uniform(64, 64, 400, 0xBAD));
+    let mut broken = EngineConfig::default();
+    broken.device.tc_hmma_per_cycle = 0.0; // cost-table coverage violation
+    let server = SpmmServer::new(ServeConfig::default()); // admission_verify on by default
+    let req = |config: &EngineConfig| Request {
+        tenant: 0,
+        kind: EngineKind::Dtc,
+        config: config.clone(),
+        matrix: Arc::clone(&a),
+        b: dense_for(&a, 4, 3),
+    };
+    match server.serve_one(req(&broken)) {
+        Err(DtcError::Verify { kernel, diagnostic, errors }) => {
+            assert!(errors >= 1);
+            assert!(
+                diagnostic.contains("cost-table-coverage"),
+                "expected the cost-table lint, got: {diagnostic} (kernel {kernel})"
+            );
+        }
+        other => panic!("expected DtcError::Verify at admission, got {other:?}"),
+    }
+    assert_eq!(server.pool().len(), 0, "rejected engine must not be cached");
+
+    // The same request under a sound device is served normally.
+    let c = server.serve_one(req(&EngineConfig::default())).unwrap();
+    assert_eq!(c.rows(), 64);
+    assert_eq!(server.pool().len(), 1);
+
+    // Opting out of admission verification restores the old (risky)
+    // behavior: the broken engine prepares fine and only per-batch verify
+    // or execution would catch it later.
+    let lax = SpmmServer::new(ServeConfig { admission_verify: false, ..ServeConfig::default() });
+    lax.serve_one(req(&broken)).expect("without the gate the prepare goes through");
+}

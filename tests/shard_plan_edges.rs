@@ -1,0 +1,119 @@
+//! Pins `ShardPlan::weighted`'s edge-case behavior.
+//!
+//! The concurrency audit concluded the planner is correct on its
+//! degenerate inputs — all-zero weights (the implicit `+1` per item keeps
+//! zero-weight runs splittable), fewer items than workers (`weighted_cuts`
+//! clamps the part count to the item count, never emitting an empty
+//! band), and a single mega-weight dwarfing everything else (the quantile
+//! rule isolates it without starving the remaining items). These
+//! properties are pinned here, both as named cases and as a property
+//! sweep, cross-checked against the structural plan lints in
+//! `dtc_verify::sched`.
+
+use dtc_spmm::par::ShardPlan;
+use dtc_spmm::verify::{verify_plan, SchedCase, Severity};
+use proptest::prelude::*;
+
+/// Structural soundness, asserted directly and via the plan lints:
+/// chunks tile `0..n` in order, bands tile the chunk list in order, no
+/// band or chunk is empty, and the lint registry agrees.
+#[track_caller]
+fn assert_sound(plan: &ShardPlan, weights: &[u64], ctx: &str) {
+    assert_eq!(plan.len(), weights.len(), "{ctx}: item count");
+    let mut at = 0;
+    for &(s, e) in plan.chunk_ranges() {
+        assert_eq!(s, at, "{ctx}: chunk gap/overlap at item {at}");
+        assert!(e > s, "{ctx}: empty chunk at item {s}");
+        at = e;
+    }
+    assert_eq!(at, plan.len(), "{ctx}: chunks must cover every item");
+    let mut cat = 0;
+    for &(cs, ce) in plan.band_ranges() {
+        assert_eq!(cs, cat, "{ctx}: band gap/overlap at chunk {cat}");
+        assert!(ce > cs, "{ctx}: empty band at chunk {cs}");
+        cat = ce;
+    }
+    assert_eq!(cat, plan.chunk_ranges().len(), "{ctx}: bands must cover every chunk");
+
+    let diags = verify_plan(&SchedCase::new(ctx, plan).with_weights(weights));
+    let errors: Vec<_> = diags.iter().filter(|d| d.severity == Severity::Error).collect();
+    assert!(errors.is_empty(), "{ctx}: plan lints found errors: {errors:?}");
+}
+
+#[test]
+fn all_zero_weights_split_like_even() {
+    for (n, threads) in [(16usize, 2usize), (64, 4), (7, 3)] {
+        let weights = vec![0u64; n];
+        let plan = ShardPlan::weighted(threads, &weights);
+        assert_sound(&plan, &weights, "all-zero");
+        // Zero weights carry no skew: every item costs the implicit +1, so
+        // the heaviest band holds at most one chunk more than an even cut.
+        assert_eq!(plan.num_bands(), threads, "all-zero weights must fill every worker");
+        let chunk_counts: Vec<usize> = plan.band_ranges().iter().map(|&(s, e)| e - s).collect();
+        let (min, max) = (chunk_counts.iter().min().unwrap(), chunk_counts.iter().max().unwrap());
+        assert!(max - min <= 1, "all-zero bands must stay balanced: {chunk_counts:?}");
+    }
+}
+
+#[test]
+fn fewer_items_than_workers_never_emits_an_empty_band() {
+    for threads in [4usize, 8, 16] {
+        for n in 2..4usize {
+            let weights: Vec<u64> = (0..n as u64).map(|i| i * 5).collect();
+            let plan = ShardPlan::weighted(threads, &weights);
+            assert_sound(&plan, &weights, "short");
+            // The planner may use fewer bands than workers, never more
+            // than there are items, and never an empty one (assert_sound).
+            assert!(plan.num_bands() <= n, "{} bands for {n} items", plan.num_bands());
+            assert!(plan.num_bands() >= 1);
+        }
+    }
+}
+
+#[test]
+fn single_mega_weight_is_isolated_without_starving_the_rest() {
+    let mut weights = vec![1u64; 24];
+    weights[7] = 1 << 40;
+    let plan = ShardPlan::weighted(3, &weights);
+    assert_sound(&plan, &weights, "mega");
+    // The mega item dominates every quantile: the cut lands immediately
+    // after it (the chunk absorbs the light items *before* it, since the
+    // running sum first crosses a quantile at the mega item, but never
+    // drags items after it into the same steal granule).
+    let mega_chunk =
+        plan.chunk_ranges().iter().find(|&&(s, e)| (s..e).contains(&7)).expect("item 7 is covered");
+    assert_eq!(mega_chunk.1, 8, "the chunk must end right after the mega item: {mega_chunk:?}");
+    // And the remaining items still get chunks of their own (the plan is
+    // not one giant chunk plus crumbs).
+    assert!(plan.chunk_ranges().len() >= 3, "{:?}", plan.chunk_ranges());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any weight vector, any worker count: the weighted plan is
+    /// structurally sound, passes the plan lints with weights attached,
+    /// and is a pure function of its inputs.
+    #[test]
+    fn weighted_plans_are_sound_and_deterministic(
+        weights in proptest::collection::vec(0u64..5_000, 0..200),
+        threads in 1usize..17,
+        mega_at in 0usize..400, // < 200: heavy-tail injection site, else none
+    ) {
+        let mut weights = weights;
+        if mega_at < 200 && !weights.is_empty() {
+            let at = mega_at % weights.len();
+            weights[at] = u32::MAX as u64;
+        }
+        let plan = ShardPlan::weighted(threads, &weights);
+        if !weights.is_empty() {
+            assert_sound(&plan, &weights, "prop");
+        } else {
+            prop_assert_eq!(plan.len(), 0);
+            prop_assert!(plan.chunk_ranges().is_empty());
+        }
+        let again = ShardPlan::weighted(threads, &weights);
+        prop_assert_eq!(plan.chunk_ranges(), again.chunk_ranges());
+        prop_assert_eq!(plan.band_ranges(), again.band_ranges());
+    }
+}
