@@ -11,7 +11,9 @@ fn bench_conversions(c: &mut Criterion) {
     let mut group = c.benchmark_group("convert_8192x8192");
     group.bench_function("sgt_condense", |b| b.iter(|| black_box(Condensed::from_csr(&a))));
     group.bench_function("metcf_seq", |b| b.iter(|| black_box(MeTcfMatrix::from_csr(&a))));
-    group.bench_function("metcf_par4", |b| b.iter(|| black_box(convert_to_metcf_parallel(&a, 4))));
+    group.bench_function("metcf_par4", |b| {
+        b.iter(|| black_box(convert_to_metcf_parallel(&a, 4).expect("within u32 bounds")))
+    });
     group.bench_function("tcf", |b| b.iter(|| black_box(TcfMatrix::from_csr(&a).expect("square"))));
     group.bench_function("bell32", |b| {
         b.iter(|| black_box(BellMatrix::from_csr(&a, 32, u64::MAX).expect("fits")))

@@ -100,7 +100,7 @@ fn bench_conversion(sets: &[usize], lookups: usize) -> Vec<Point> {
             sweep_point("conversion", w, lookups, |iters| {
                 for _ in 0..iters {
                     for m in &mats {
-                        std::hint::black_box(metcf_for(m));
+                        let _ = std::hint::black_box(metcf_for(m));
                     }
                 }
             })

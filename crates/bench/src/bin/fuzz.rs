@@ -1,26 +1,28 @@
 //! `fuzz`: the differential fuzzing sweep over every kernel model.
 //!
 //! Generates adversarial cases (degenerate shapes, tile straddles,
-//! duplicate triplets, power-law extremes, IEEE special values), runs each
-//! one differentially across all 12 `SpmmKernel` models, both ME-TCF
-//! conversion paths and the TCA-reordered pipeline, and adjudicates with
-//! the `dtc-fuzz` oracles (exact f64 reference, TF32 error envelope,
-//! `dtc-verify` lint replay). Failures are shrunk to minimal reproducers.
+//! duplicate triplets, power-law extremes, IEEE special values,
+//! window-boundary edit scripts), runs each one differentially across all
+//! 12 `SpmmKernel` models, both ME-TCF conversion paths, the
+//! TCA-reordered pipeline, the two-tier conversion cache, and the
+//! in-place delta-update path, and adjudicates with the `dtc-fuzz`
+//! oracles (exact f64 reference, TF32 error envelope, `dtc-verify` lint
+//! replay). Failures are shrunk to minimal reproducers.
 //!
 //! Modes: default runs the full 5,760-case sweep and writes `FUZZ.json`;
-//! `--smoke` runs 160 cases for CI and writes `FUZZ_smoke.json` so the
+//! `--smoke` runs 200 cases for CI and writes `FUZZ_smoke.json` so the
 //! committed full-sweep artifact is not clobbered by the gate. Both exit
 //! nonzero on any failure — the dynamic counterpart to `tracelint`.
 
 use dtc_fuzz::{run_sweep, SweepConfig};
 use dtc_sim::Device;
 
-/// Full-sweep case count: 480 rounds over the 8 generator families x 12
+/// Full-sweep case count: 576 rounds over the 10 generator families x 12
 /// kernels ≈ 69k kernel executions (the acceptance bar is ≥ 5,000 cases).
 const FULL_CASES: usize = 5760;
 
 /// Smoke-mode case count (20 rounds over every family).
-const SMOKE_CASES: usize = 160;
+const SMOKE_CASES: usize = 200;
 
 /// The fixed master seed: FUZZ.json is a pure function of this value.
 const MASTER_SEED: u64 = 0xD7C5_B004;

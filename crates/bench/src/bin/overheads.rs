@@ -22,7 +22,8 @@ fn main() {
         let spmm_ms = DtcKernel::new(&a).simulate(n, &device).time_ms;
 
         // 1. Format conversion (GPU-kernel model + measured CPU parallel time).
-        let report = convert::convert_with_report(&a, 4, &device);
+        let report = convert::convert_with_report(&a, 4, &device)
+            .expect("representative datasets are within u32 offset bounds");
         let conv_ratio = report.simulated_gpu_ms / spmm_ms;
 
         // 2. Reordering (optional, offline) — measured CPU wall time.

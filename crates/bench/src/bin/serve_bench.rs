@@ -160,7 +160,8 @@ fn main() {
         requests: if smoke { 200 } else { 800 },
         ..LoadGenConfig::default()
     };
-    let service_ms = loadgen::calibrate_service_ms(&tenants, &cfg);
+    let service_ms = loadgen::calibrate_service_ms(&tenants, &cfg)
+        .expect("bench tenants are well-formed; calibration must succeed");
     let mu = 1e3 / service_ms; // single-request service rate, QPS
     let multiples: &[f64] =
         if smoke { &[0.25, 1.0, 4.0] } else { &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0] };

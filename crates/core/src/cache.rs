@@ -31,11 +31,13 @@
 //! the thin PR-2-era reader over the registry — needs no caller changes
 //! and never double-counts.
 
+use crate::error::DtcError;
 use crate::telemetry::{
-    conversion_cache_collisions, conversion_cache_hits, conversion_cache_misses,
+    conversion_cache_collisions, conversion_cache_hits, conversion_cache_invalidations,
+    conversion_cache_misses,
 };
-use dtc_formats::{CsrMatrix, MeTcfMatrix};
-use dtc_par::hash::{fnv1a, fnv1a_slice};
+use dtc_formats::{CsrMatrix, MeTcfMatrix, BLOCK_WIDTH, WINDOW_HEIGHT};
+use dtc_par::hash::{fnv1a, fnv1a_slice, Fnv1a};
 use dtc_par::FrontTier;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -82,6 +84,77 @@ impl KeyMaterial {
             row_ptr_sum: fnv1a_slice(0x6c62_272e_07bb_0142, a.row_ptr(), |&p| p as u64),
             col_idx_sum: fnv1a_slice(0xdead_beef_cafe_f00d, a.col_idx(), |&c| c as u64),
             value_sum: fnv1a_slice(0x0123_4567_89ab_cdef, a.values(), |v| v.to_bits() as u64),
+        }
+    }
+
+    /// Computes the identity material of an ME-TCF matrix, bit-identical
+    /// to [`KeyMaterial::of`] over its reconstructed CSR form — but
+    /// without the triplet sort a full [`MeTcfMatrix::to_csr`] rebuild
+    /// would pay, so a matrix patched in place by `apply_delta` keys
+    /// identically to a fresh conversion of the edited CSR at a fraction
+    /// of the cost. Pinned by `of_metcf_matches_of_over_the_roundtripped_csr`.
+    ///
+    /// Small matrices (every array at or below `fnv1a_slice`'s 64 Ki
+    /// chunk, where that function is a plain serial fold) hash the three
+    /// CSR-order streams straight out of the per-window row buckets with
+    /// nothing materialized. Larger ones materialize via
+    /// [`MeTcfMatrix::csr_arrays`] and defer to [`fnv1a_slice`], whose
+    /// chunked-parallel digest a streaming fold could not reproduce.
+    pub fn of_metcf(m: &MeTcfMatrix) -> Self {
+        const CHUNK: usize = 64 * 1024; // fnv1a_slice's serial/chunked split
+        let (rows, cols, nnz) = (m.rows(), m.cols(), m.nnz());
+        if rows + 1 > CHUNK || nnz > CHUNK {
+            let (row_ptr, col_idx, values) = m.csr_arrays();
+            return KeyMaterial {
+                rows,
+                cols,
+                nnz,
+                row_ptr_sum: fnv1a_slice(0x6c62_272e_07bb_0142, &row_ptr, |&p| p as u64),
+                col_idx_sum: fnv1a_slice(0xdead_beef_cafe_f00d, &col_idx, |&c| c as u64),
+                value_sum: fnv1a_slice(0x0123_4567_89ab_cdef, &values, |v| v.to_bits() as u64),
+            };
+        }
+        let mut row_hash = Fnv1a::with_seed(0x6c62_272e_07bb_0142);
+        let mut col_hash = Fnv1a::with_seed(0xdead_beef_cafe_f00d);
+        let mut val_hash = Fnv1a::with_seed(0x0123_4567_89ab_cdef);
+        row_hash.word(0); // row_ptr[0]
+                          // Same per-window bucketing pass as `MeTcfMatrix::csr_arrays`,
+                          // folded straight into the hashers instead of materialized.
+        let mut buckets: [Vec<(u32, u32)>; WINDOW_HEIGHT] = Default::default();
+        let mut prefix = 0u64;
+        for w in 0..m.num_windows() {
+            for bucket in &mut buckets {
+                bucket.clear();
+            }
+            for t in m.window_blocks(w) {
+                let bcols = m.block_cols(t);
+                let (ids, vals) = m.block_entries(t);
+                for (&id, &v) in ids.iter().zip(vals) {
+                    let local_row = (id / BLOCK_WIDTH as u8) as usize;
+                    let local_col = (id % BLOCK_WIDTH as u8) as usize;
+                    buckets[local_row].push((bcols[local_col], v.to_bits()));
+                }
+            }
+            let base = w * WINDOW_HEIGHT;
+            for (local_row, bucket) in buckets.iter().enumerate() {
+                if base + local_row >= rows {
+                    break;
+                }
+                prefix += bucket.len() as u64;
+                row_hash.word(prefix);
+                for &(c, bits) in bucket {
+                    col_hash.word(c as u64);
+                    val_hash.word(bits as u64);
+                }
+            }
+        }
+        KeyMaterial {
+            rows,
+            cols,
+            nnz,
+            row_ptr_sum: row_hash.finish(),
+            col_idx_sum: col_hash.finish(),
+            value_sum: val_hash.finish(),
         }
     }
 
@@ -170,12 +243,17 @@ pub fn matrix_key(a: &CsrMatrix) -> u64 {
 /// miss. The front tier is probed first on the material fingerprint alone:
 /// a verified front hit never computes [`matrix_key`] (three more full
 /// passes over the matrix), which is where the steady-state 2x comes from.
-pub fn metcf_for(a: &CsrMatrix) -> Arc<CachedConversion> {
+///
+/// # Errors
+///
+/// Propagates the converter's `u32` offset-overflow guard
+/// ([`DtcError::Format`]); nothing is cached on error.
+pub fn metcf_for(a: &CsrMatrix) -> Result<Arc<CachedConversion>, DtcError> {
     let material = KeyMaterial::of(a);
     let fp = material.fingerprint();
     if let Some(hit) = cache().lock().unwrap().front.get(fp, &material) {
         conversion_cache_hits().incr();
-        return hit;
+        return Ok(hit);
     }
     lookup_or_convert_inner(matrix_key(a), a, material, fp)
 }
@@ -188,7 +266,7 @@ pub fn metcf_for(a: &CsrMatrix) -> Arc<CachedConversion> {
 fn lookup_or_convert(key: u64, a: &CsrMatrix) -> Arc<CachedConversion> {
     let material = KeyMaterial::of(a);
     let fp = material.fingerprint();
-    lookup_or_convert_inner(key, a, material, fp)
+    lookup_or_convert_inner(key, a, material, fp).expect("test matrices stay within u32 bounds")
 }
 
 fn lookup_or_convert_inner(
@@ -196,7 +274,7 @@ fn lookup_or_convert_inner(
     a: &CsrMatrix,
     material: KeyMaterial,
     fp: u64,
-) -> Arc<CachedConversion> {
+) -> Result<Arc<CachedConversion>, DtcError> {
     {
         let mut c = cache().lock().unwrap();
         if let Some(bucket) = c.exact.get(&key) {
@@ -205,7 +283,7 @@ fn lookup_or_convert_inner(
                 let hit = Arc::clone(hit);
                 // Refill the front slot so the next lookup is one probe.
                 c.front.insert(fp, material, Arc::clone(&hit));
-                return hit;
+                return Ok(hit);
             }
             conversion_cache_collisions().incr();
         }
@@ -218,7 +296,7 @@ fn lookup_or_convert_inner(
     // `from_csr` path condenses in parallel but packed serially, which
     // Amdahl-capped every cold engine build.
     let built = Arc::new(CachedConversion {
-        metcf: crate::convert::convert_to_metcf_parallel(a, dtc_par::num_threads()),
+        metcf: crate::convert::convert_to_metcf_parallel(a, dtc_par::num_threads())?,
         distinct_cols: dtc_baselines::util::distinct_col_count(a),
     });
     let mut c = cache().lock().unwrap();
@@ -228,7 +306,56 @@ fn lookup_or_convert_inner(
     }
     c.exact.entry(key).or_default().push((material.clone(), Arc::clone(&built)));
     c.front.insert(fp, material, Arc::clone(&built));
-    built
+    Ok(built)
+}
+
+/// Purges every cached conversion whose stored [`KeyMaterial`] equals
+/// `material`, from both tiers, returning the number of exact-tier entries
+/// removed. The front tier is purged **by key** ([`FrontTier::invalidate`]
+/// drops the slot only if the resident entry verifies against `material`)
+/// — purging by slot index would evict an innocent collision neighbor and,
+/// worse, leave a stale entry behind if the slot had been overwritten.
+///
+/// This is the conversion-cache arm of the delta-update invalidation
+/// contract: after [`crate::DtcSpmm::apply_delta`] mutates a matrix, a
+/// lookup under the pre-edit identity must miss.
+pub fn invalidate_conversion(material: &KeyMaterial) -> usize {
+    let Some(cache) = CACHE.get() else {
+        return 0;
+    };
+    let mut c = cache.lock().unwrap();
+    let mut removed = 0;
+    c.exact.retain(|_, bucket| {
+        let before = bucket.len();
+        bucket.retain(|(m, _)| m != material);
+        removed += before - bucket.len();
+        !bucket.is_empty()
+    });
+    c.front.invalidate(material.fingerprint(), material);
+    if removed > 0 {
+        conversion_cache_invalidations().add(removed as u64);
+    }
+    removed
+}
+
+/// Seeds the cache with an already-built conversion for `a` (both tiers),
+/// e.g. the freshly patched ME-TCF a delta update produced. Sound because
+/// ME-TCF packing is a pure function of the CSR content and the delta path
+/// is bitwise-identical to a rebuild, so the seeded entry equals what a
+/// cold conversion of `a` would compute.
+pub fn admit_conversion(a: &CsrMatrix, conversion: Arc<CachedConversion>) {
+    let material = KeyMaterial::of(a);
+    let fp = material.fingerprint();
+    let key = matrix_key(a);
+    let mut c = cache().lock().unwrap();
+    if c.exact.len() >= CACHE_CAP {
+        c.exact.clear();
+        c.front.clear();
+    }
+    let bucket = c.exact.entry(key).or_default();
+    bucket.retain(|(m, _)| *m != material);
+    bucket.push((material.clone(), Arc::clone(&conversion)));
+    c.front.insert(fp, material, conversion);
 }
 
 /// `(hits, misses)` of the process-wide conversion cache — a thin wrapper
@@ -256,18 +383,74 @@ mod tests {
     #[test]
     fn same_matrix_hits_distinct_matrix_misses() {
         let a = uniform(128, 128, 900, 321);
-        let first = metcf_for(&a);
+        let first = metcf_for(&a).unwrap();
         let (_, misses0) = conversion_cache_stats();
-        let again = metcf_for(&a);
+        let again = metcf_for(&a).unwrap();
         assert!(Arc::ptr_eq(&first, &again), "expected the cached Arc back");
         let (_, misses1) = conversion_cache_stats();
         assert_eq!(misses1, misses0, "second lookup must not convert");
 
         let b = uniform(128, 128, 900, 322); // same shape, different structure
-        let other = metcf_for(&b);
+        let other = metcf_for(&b).unwrap();
         assert!(!Arc::ptr_eq(&first, &other));
         let (_, misses2) = conversion_cache_stats();
         assert_eq!(misses2, misses1 + 1);
+    }
+
+    #[test]
+    fn invalidate_purges_both_tiers_and_admit_reseeds() {
+        let a = uniform(144, 144, 1000, 8181);
+        let first = metcf_for(&a).unwrap();
+        let material = KeyMaterial::of(&a);
+
+        assert_eq!(invalidate_conversion(&material), 1);
+        // Post-invalidation lookup must reconvert (a fresh Arc), not serve
+        // the purged entry from either tier.
+        let (_, misses0) = conversion_cache_stats();
+        let again = metcf_for(&a).unwrap();
+        assert!(!Arc::ptr_eq(&first, &again), "invalidated entry must not be served");
+        let (_, misses1) = conversion_cache_stats();
+        assert_eq!(misses1, misses0 + 1);
+
+        // Invalidating a non-resident identity is a no-op.
+        assert_eq!(invalidate_conversion(&KeyMaterial::of(&uniform(32, 32, 60, 9))), 0);
+
+        // Seeding an externally built conversion makes the next lookup hit
+        // without converting.
+        invalidate_conversion(&material);
+        let seeded = Arc::new(CachedConversion {
+            metcf: MeTcfMatrix::from_csr(&a),
+            distinct_cols: dtc_baselines::util::distinct_col_count(&a),
+        });
+        admit_conversion(&a, Arc::clone(&seeded));
+        let (_, misses2) = conversion_cache_stats();
+        let hit = metcf_for(&a).unwrap();
+        assert!(Arc::ptr_eq(&hit, &seeded), "admitted conversion must be served");
+        assert_eq!(conversion_cache_stats().1, misses2, "admitted entry must not reconvert");
+    }
+
+    #[test]
+    fn of_metcf_matches_of_over_the_roundtripped_csr() {
+        // The delta path keys a patched ME-TCF with `of_metcf` while every
+        // other consumer keys the CSR with `of`; the two must agree bit
+        // for bit or a post-edit lookup could serve a pre-edit artifact.
+        // The last case crosses fnv1a_slice's 64 Ki chunk boundary, so it
+        // exercises the materializing fallback, not the streaming fold.
+        for (rows, cols, nnz, seed) in [
+            (16, 16, 0, 1u64),
+            (33, 40, 90, 2),
+            (256, 256, 2000, 3),
+            (100, 700, 4000, 4),
+            (1200, 800, 70_000, 5),
+        ] {
+            let a = if nnz == 0 {
+                CsrMatrix::from_triplets(rows, cols, &[]).unwrap()
+            } else {
+                uniform(rows, cols, nnz, seed)
+            };
+            let m = MeTcfMatrix::from_csr(&a);
+            assert_eq!(KeyMaterial::of_metcf(&m), KeyMaterial::of(&a), "seed {seed}");
+        }
     }
 
     #[test]
@@ -281,7 +464,7 @@ mod tests {
     #[test]
     fn cached_conversion_matches_direct() {
         let a = uniform(200, 150, 1200, 323);
-        let cached = metcf_for(&a);
+        let cached = metcf_for(&a).unwrap();
         assert_eq!(cached.metcf, MeTcfMatrix::from_csr(&a));
         assert_eq!(cached.distinct_cols, dtc_baselines::util::distinct_col_count(&a));
     }
@@ -316,10 +499,10 @@ mod tests {
         // l1 hit counter — and hand back the exact tier's Arc (bitwise
         // identity is Arc identity here).
         let a = uniform(112, 112, 800, 4242);
-        let first = metcf_for(&a);
+        let first = metcf_for(&a).unwrap();
         let l1_hits = dtc_telemetry::counter("cache.conversion.l1_hits");
         let before = l1_hits.get();
-        let again = metcf_for(&a);
+        let again = metcf_for(&a).unwrap();
         assert!(Arc::ptr_eq(&first, &again));
         assert!(l1_hits.get() > before, "repeat lookup must hit the front tier");
     }
@@ -332,9 +515,9 @@ mod tests {
         let a = uniform(104, 104, 700, 5150);
         for threads in [1usize, 4] {
             dtc_par::set_threads(Some(threads));
-            let two_tier = metcf_for(&a);
+            let two_tier = metcf_for(&a).unwrap();
             dtc_par::set_front_tier_enabled(false);
-            let exact_only = metcf_for(&a);
+            let exact_only = metcf_for(&a).unwrap();
             dtc_par::set_front_tier_enabled(true);
             assert!(
                 Arc::ptr_eq(&two_tier, &exact_only),

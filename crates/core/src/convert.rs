@@ -7,7 +7,8 @@
 //! [`simulated_gpu_conversion_ms`] models what the GPU kernels would cost
 //! so that the §6 overhead ratios can be reproduced.
 
-use dtc_formats::{Condensed, CsrMatrix, MeTcfMatrix, WINDOW_HEIGHT};
+use crate::error::DtcError;
+use dtc_formats::{Condensed, CsrMatrix, FormatError, MeTcfMatrix, WINDOW_HEIGHT};
 use std::time::{Duration, Instant};
 
 /// Result of a timed conversion.
@@ -35,18 +36,28 @@ pub struct ConversionReport {
 /// use dtc_formats::{gen, MeTcfMatrix};
 ///
 /// let a = gen::uniform(512, 512, 4096, 9);
-/// let parallel = convert_to_metcf_parallel(&a, 4);
+/// let parallel = convert_to_metcf_parallel(&a, 4).unwrap();
 /// assert_eq!(parallel, MeTcfMatrix::from_csr(&a)); // identical result
 /// ```
+///
+/// # Errors
+///
+/// Returns [`DtcError::Format`] ([`FormatError::IndexOverflow`]) when the
+/// matrix's non-zero or TC-block count exceeds ME-TCF's `u32` offset range
+/// — the packed arrays would silently wrap otherwise.
 ///
 /// # Panics
 ///
 /// Panics if `threads` is zero.
-pub fn convert_to_metcf_parallel(a: &CsrMatrix, threads: usize) -> MeTcfMatrix {
+pub fn convert_to_metcf_parallel(a: &CsrMatrix, threads: usize) -> Result<MeTcfMatrix, DtcError> {
     assert!(threads > 0, "need at least one thread");
+    // Every TC block holds at least one non-zero, so blocks <= nnz and one
+    // upfront bound on nnz also bounds the block count: past it the `u32`
+    // offset arrays (and the merge re-basing below) would wrap.
+    guard_metcf_bounds(a.nnz())?;
     let num_windows = a.rows().div_ceil(WINDOW_HEIGHT);
     if threads == 1 || num_windows < threads * 4 {
-        return MeTcfMatrix::from_csr(a);
+        return Ok(MeTcfMatrix::from_csr(a));
     }
     // Partition windows into contiguous row ranges at nnz-weighted cut
     // points (a window's condense+pack cost tracks its non-zeros, so a few
@@ -70,7 +81,7 @@ pub fn convert_to_metcf_parallel(a: &CsrMatrix, threads: usize) -> MeTcfMatrix {
         .map(|&(ws, we)| (ws * WINDOW_HEIGHT, (we * WINDOW_HEIGHT).min(a.rows())))
         .collect();
     if chunks.len() <= 1 {
-        return MeTcfMatrix::from_csr(a);
+        return Ok(MeTcfMatrix::from_csr(a));
     }
     let chunk_weights: Vec<u64> =
         chunks.iter().map(|&(lo, hi)| (row_ptr[hi] - row_ptr[lo]) as u64).collect();
@@ -83,11 +94,20 @@ pub fn convert_to_metcf_parallel(a: &CsrMatrix, threads: usize) -> MeTcfMatrix {
     merge_packed(a, &chunks, partials)
 }
 
+/// Rejects counts the ME-TCF `u32` offset arrays cannot address. Checked
+/// once per conversion (blocks <= nnz, so the non-zero count bounds both).
+fn guard_metcf_bounds(nnz: usize) -> Result<(), DtcError> {
+    if nnz > u32::MAX as usize {
+        return Err(DtcError::Format(FormatError::IndexOverflow { what: "nnz", count: nnz }));
+    }
+    Ok(())
+}
+
 fn merge_packed(
     a: &CsrMatrix,
     chunks: &[(usize, usize)],
     partials: Vec<MeTcfMatrix>,
-) -> MeTcfMatrix {
+) -> Result<MeTcfMatrix, DtcError> {
     let total_windows: usize = partials.iter().map(MeTcfMatrix::num_windows).sum();
     let total_blocks: usize = partials.iter().map(MeTcfMatrix::num_tc_blocks).sum();
     let mut row_window_offset: Vec<u32> = Vec::with_capacity(total_windows + 1);
@@ -99,8 +119,18 @@ fn merge_packed(
     tc_offset.push(0);
     for (m, &(lo, hi)) in partials.iter().zip(chunks) {
         debug_assert_eq!(m.rows(), hi - lo);
-        let nnz_base = tc_local_id.len() as u32;
-        let block_base = tc_offset.len() as u32 - 1;
+        // Checked re-basing: these used to be bare `as u32` casts that
+        // silently wrapped past 2^32 accumulated non-zeros or blocks,
+        // corrupting every offset of the remaining chunks.
+        let nnz_base = u32::try_from(tc_local_id.len()).map_err(|_| {
+            DtcError::Format(FormatError::IndexOverflow { what: "nnz", count: tc_local_id.len() })
+        })?;
+        let block_base = u32::try_from(tc_offset.len() - 1).map_err(|_| {
+            DtcError::Format(FormatError::IndexOverflow {
+                what: "tc blocks",
+                count: tc_offset.len() - 1,
+            })
+        })?;
         for &o in &m.row_window_offset()[1..] {
             row_window_offset.push(o + block_base);
         }
@@ -111,7 +141,7 @@ fn merge_packed(
         sparse_a_to_b.extend_from_slice(m.sparse_a_to_b());
         values.extend_from_slice(m.values());
     }
-    MeTcfMatrix::from_raw_parts(
+    Ok(MeTcfMatrix::from_raw_parts(
         a.rows(),
         a.cols(),
         row_window_offset,
@@ -119,19 +149,27 @@ fn merge_packed(
         tc_local_id,
         sparse_a_to_b,
         values,
-    )
+    ))
 }
 
 /// Timed parallel conversion with the §6 overhead model attached.
+///
+/// # Errors
+///
+/// Propagates [`convert_to_metcf_parallel`]'s overflow guard.
 pub fn convert_with_report(
     a: &CsrMatrix,
     threads: usize,
     device: &dtc_sim::Device,
-) -> ConversionReport {
+) -> Result<ConversionReport, DtcError> {
     let start = Instant::now();
-    let metcf = convert_to_metcf_parallel(a, threads);
+    let metcf = convert_to_metcf_parallel(a, threads)?;
     let cpu_time = start.elapsed();
-    ConversionReport { simulated_gpu_ms: simulated_gpu_conversion_ms(a, device), cpu_time, metcf }
+    Ok(ConversionReport {
+        simulated_gpu_ms: simulated_gpu_conversion_ms(a, device),
+        cpu_time,
+        metcf,
+    })
 }
 
 /// Models the GPU-accelerated conversion kernels of §6.
@@ -168,7 +206,7 @@ mod tests {
         let a = power_law(500, 500, 8.0, 2.1, 91);
         let seq = MeTcfMatrix::from_csr(&a);
         for threads in [2, 3, 7] {
-            let par = convert_to_metcf_parallel(&a, threads);
+            let par = convert_to_metcf_parallel(&a, threads).unwrap();
             assert_eq!(par, seq, "threads={threads}");
         }
     }
@@ -177,16 +215,33 @@ mod tests {
     fn parallel_handles_row_counts_not_divisible_by_window() {
         let a = uniform(497, 300, 3000, 92);
         let seq = MeTcfMatrix::from_csr(&a);
-        let par = convert_to_metcf_parallel(&a, 4);
+        let par = convert_to_metcf_parallel(&a, 4).unwrap();
         assert_eq!(par, seq);
     }
 
     #[test]
     fn report_contains_positive_times() {
         let a = uniform(200, 200, 1500, 93);
-        let r = convert_with_report(&a, 2, &dtc_sim::Device::rtx4090());
+        let r = convert_with_report(&a, 2, &dtc_sim::Device::rtx4090()).unwrap();
         assert!(r.simulated_gpu_ms > 0.0);
         assert_eq!(r.metcf.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn offset_guard_rejects_counts_past_u32() {
+        // A 2^32-non-zero matrix cannot be materialized in a test, so pin
+        // the guard itself: the first unrepresentable count must error as
+        // `DtcError::Format(FormatError::IndexOverflow)`, and the largest
+        // representable one must pass.
+        assert!(guard_metcf_bounds(u32::MAX as usize).is_ok());
+        let err = guard_metcf_bounds(u32::MAX as usize + 1).unwrap_err();
+        match err {
+            DtcError::Format(FormatError::IndexOverflow { what, count }) => {
+                assert_eq!(what, "nnz");
+                assert_eq!(count, u32::MAX as usize + 1);
+            }
+            other => panic!("expected IndexOverflow, got {other:?}"),
+        }
     }
 
     #[test]
@@ -200,6 +255,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
-        convert_to_metcf_parallel(&uniform(10, 10, 10, 95), 0);
+        let _ = convert_to_metcf_parallel(&uniform(10, 10, 10, 95), 0);
     }
 }

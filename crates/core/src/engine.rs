@@ -111,7 +111,7 @@ pub fn prepare(
     a: &CsrMatrix,
 ) -> Result<Box<dyn SpmmEngine>, DtcError> {
     Ok(match kind {
-        EngineKind::Dtc => Box::new(DtcSpmm::builder().config(config.clone()).build(a)),
+        EngineKind::Dtc => Box::new(DtcSpmm::builder().config(config.clone()).try_build(a)?),
         EngineKind::Iterative => Box::new(IterativeSpmm::builder().config(config.clone()).build(a)),
         EngineKind::Cusparse => {
             Box::new(BaselineEngine::new(Box::new(dtc_baselines::CusparseSpmm::new(a)), a))

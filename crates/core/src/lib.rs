@@ -54,20 +54,23 @@ mod selector;
 mod session;
 mod telemetry;
 
-pub use cache::{clear_conversion_cache, conversion_cache_stats, KeyMaterial};
+pub use cache::{
+    admit_conversion, clear_conversion_cache, conversion_cache_stats, invalidate_conversion,
+    KeyMaterial,
+};
 pub use config::EngineConfig;
 pub use engine::{prepare, BaselineEngine, EngineKind, SpmmEngine};
 pub use error::DtcError;
 #[allow(deprecated)]
 pub use error::EngineError;
 pub use kernel::{BalancedDtcKernel, DtcKernel, KernelOpts};
-pub use pipeline::{DtcSpmm, DtcSpmmBuilder};
+pub use pipeline::{DeltaOutcome, DeltaPolicy, DtcSpmm, DtcSpmmBuilder};
 pub use selector::{KernelChoice, Selector, SelectorDecision};
 pub use session::{AmortizationReport, EngineRecommendation, IterativeSpmm, IterativeSpmmBuilder};
 
 // Re-exported so downstream users need only this crate for the common path.
 pub use dtc_baselines::SpmmKernel;
-pub use dtc_formats::Precision;
+pub use dtc_formats::{DeltaReport, MatrixDelta, Precision};
 
 // The workspace's shared FNV-1a module and the lossy verified front-tier
 // cache primitive (they live in `dtc-par` so `dtc-sim` and the serving

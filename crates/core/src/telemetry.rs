@@ -9,7 +9,11 @@
 //! | `core.pipeline.builds` | engines assembled via [`crate::DtcSpmmBuilder::build`] |
 //! | `core.cache.conversion.hits` / `.misses` | process-wide ME-TCF conversion cache |
 //! | `core.cache.conversion.collisions` | primary-key collisions caught by hit verification |
+//! | `core.cache.conversion.invalidations` | conversion entries purged by key after a delta update |
 //! | `core.cache.trace.hits` / `.misses` | per-engine memoized kernel traces |
+//! | `core.cache.trace.invalidations` | per-engine trace caches dropped wholesale by a delta update |
+//! | `core.delta.applies` | in-place [`crate::DtcSpmm::apply_delta`] patches |
+//! | `core.delta.reselects` | delta applies whose stat drift re-ran the Selector |
 
 use dtc_telemetry::Counter;
 use std::sync::OnceLock;
@@ -54,4 +58,26 @@ cached_counter!(
     /// Per-engine trace-cache misses (kernel lowered once per key).
     trace_cache_misses,
     "core.cache.trace.misses"
+);
+cached_counter!(
+    /// Conversion-cache entries purged by key ([`crate::cache::invalidate_conversion`]).
+    conversion_cache_invalidations,
+    "core.cache.conversion.invalidations"
+);
+cached_counter!(
+    /// Per-engine trace caches dropped wholesale after an in-place delta
+    /// (the trace key carries no matrix identity, so every entry is stale).
+    trace_cache_invalidations,
+    "core.cache.trace.invalidations"
+);
+cached_counter!(
+    /// In-place delta patches applied through [`crate::DtcSpmm::apply_delta`].
+    delta_applies,
+    "core.delta.applies"
+);
+cached_counter!(
+    /// Delta applies whose row-length-stat drift crossed the policy
+    /// threshold and re-ran the simulation-based Selector.
+    delta_reselects,
+    "core.delta.reselects"
 );

@@ -36,6 +36,15 @@ pub enum FormatError {
     /// The implementation does not support matrices of this shape
     /// (e.g. SparTA's 50 000 row/column limit, TCGNN's square-only limit).
     NotSupported(String),
+    /// A count exceeds the format's index range (e.g. ME-TCF stores
+    /// non-zero and TC-block offsets as `u32`, so a matrix past 2^32 - 1
+    /// non-zeros cannot be packed).
+    IndexOverflow {
+        /// What overflowed ("nnz", "tc blocks", ...).
+        what: &'static str,
+        /// The offending count.
+        count: usize,
+    },
 }
 
 impl fmt::Display for FormatError {
@@ -56,6 +65,10 @@ impl fmt::Display for FormatError {
                 "out of memory: conversion needs {required_bytes} bytes, device has {available_bytes}"
             ),
             FormatError::NotSupported(msg) => write!(f, "not supported: {msg}"),
+            FormatError::IndexOverflow { what, count } => write!(
+                f,
+                "index overflow: {count} {what} exceeds the format's u32 offset range"
+            ),
         }
     }
 }
@@ -74,6 +87,7 @@ mod tests {
             FormatError::MalformedRowPtr("len 0".into()),
             FormatError::OutOfMemory { required_bytes: 10, available_bytes: 1 },
             FormatError::NotSupported("rows > 50000".into()),
+            FormatError::IndexOverflow { what: "nnz", count: usize::MAX },
         ];
         for e in errs {
             let s = e.to_string();

@@ -12,6 +12,8 @@
 //!   shows it costs ~168 % more memory than CSR).
 //! - [`MeTcfMatrix`] — the paper's memory-efficient ME-TCF format (§4.2):
 //!   four arrays, with per-non-zero local indices stored as `u8`.
+//! - [`MatrixDelta`] — batched COO edits applied incrementally to an
+//!   existing [`MeTcfMatrix`], re-condensing only the touched 16-row windows.
 //! - [`BellMatrix`] — Blocked-Ellpack, the format behind cuSPARSE Block-SpMM.
 //! - [`CvseMatrix`] — Column-Vector Sparse Encoding, used by VectorSparse.
 //!
@@ -45,6 +47,7 @@ mod bell;
 mod coo;
 mod csr;
 mod cvse;
+mod delta;
 mod dense;
 mod error;
 pub mod footprint;
@@ -61,6 +64,7 @@ pub use bell::BellMatrix;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use cvse::CvseMatrix;
+pub use delta::{DeltaReport, MatrixDelta, WindowDeltaStat};
 pub use dense::DenseMatrix;
 pub use error::FormatError;
 pub use metcf::{MeTcfMatrix, PAD_COL};

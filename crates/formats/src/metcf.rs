@@ -230,6 +230,26 @@ impl MeTcfMatrix {
         (&self.tc_local_id[range.clone()], &self.values[range])
     }
 
+    /// Number of distinct column indices among stored entries, read
+    /// straight from the per-window column maps (every column in
+    /// `sparse_a_to_b` backs at least one stored entry, so a bitmap over
+    /// the non-padding slots counts exactly what a CSR scan would).
+    pub fn distinct_cols(&self) -> usize {
+        let mut seen = vec![0u64; self.cols.div_ceil(64)];
+        let mut count = 0;
+        for &c in &self.sparse_a_to_b {
+            if c == PAD_COL {
+                continue;
+            }
+            let (word, bit) = (c as usize / 64, c as usize % 64);
+            if seen[word] & (1 << bit) == 0 {
+                seen[word] |= 1 << bit;
+                count += 1;
+            }
+        }
+        count
+    }
+
     /// Index-array element count in 32-bit units (§4.2):
     /// `⌈M/16⌉ + 9·NumTCBlock + NNZ/4 + 2`.
     pub fn index_elements(&self) -> u64 {
@@ -239,25 +259,60 @@ impl MeTcfMatrix {
             + 2
     }
 
-    /// Reconstructs the original CSR matrix.
+    /// Reconstructs the canonical CSR arrays — `(row_ptr, col_idx,
+    /// values)` in row-major, column-ascending order — **without
+    /// sorting**. SGT condensing stores each window's distinct columns
+    /// sorted, emits TC blocks in ascending column-range order and orders
+    /// entries within a block by `(local_row, local_col)`, so one
+    /// bucketing pass per window (one bucket per local row) recovers
+    /// exact CSR order: a row's entries arrive block by block with
+    /// strictly increasing columns.
     ///
-    /// # Errors
-    ///
-    /// Never fails for a value built by [`MeTcfMatrix::from_csr`].
-    pub fn to_csr(&self) -> Result<CsrMatrix, FormatError> {
-        let mut triplets = Vec::with_capacity(self.nnz());
+    /// This is the cheap identity path for incremental updates: hashing
+    /// or rebuilding a CSR view of a patched ME-TCF costs `O(nnz)` here
+    /// versus the `O(nnz log nnz)` triplet sort of a generic rebuild.
+    pub fn csr_arrays(&self) -> (Vec<usize>, Vec<u32>, Vec<f32>) {
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        let mut buckets: [Vec<(u32, f32)>; WINDOW_HEIGHT] = Default::default();
         for w in 0..self.num_windows() {
+            for bucket in &mut buckets {
+                bucket.clear();
+            }
             for t in self.window_blocks(w) {
                 let cols = self.block_cols(t);
                 let (ids, vals) = self.block_entries(t);
                 for (&id, &v) in ids.iter().zip(vals) {
                     let local_row = (id / BLOCK_WIDTH as u8) as usize;
                     let local_col = (id % BLOCK_WIDTH as u8) as usize;
-                    triplets.push((w * WINDOW_HEIGHT + local_row, cols[local_col] as usize, v));
+                    buckets[local_row].push((cols[local_col], v));
+                }
+            }
+            let base = w * WINDOW_HEIGHT;
+            for (local_row, bucket) in buckets.iter().enumerate() {
+                let r = base + local_row;
+                if r >= self.rows {
+                    break;
+                }
+                row_ptr[r + 1] = row_ptr[r] + bucket.len();
+                for &(c, v) in bucket {
+                    col_idx.push(c);
+                    values.push(v);
                 }
             }
         }
-        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+        (row_ptr, col_idx, values)
+    }
+
+    /// Reconstructs the original CSR matrix.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a value built by [`MeTcfMatrix::from_csr`].
+    pub fn to_csr(&self) -> Result<CsrMatrix, FormatError> {
+        let (row_ptr, col_idx, values) = self.csr_arrays();
+        CsrMatrix::from_parts(self.rows, self.cols, row_ptr, col_idx, values)
     }
 }
 
@@ -296,6 +351,36 @@ mod tests {
         let a = sample();
         let m = MeTcfMatrix::from_csr(&a);
         assert_eq!(m.to_csr().unwrap(), a);
+    }
+
+    #[test]
+    fn distinct_cols_counts_what_a_csr_scan_would() {
+        for (rows, cols, nnz, seed) in [(33, 40, 7, 0u64), (100, 64, 900, 3), (50, 300, 1200, 9)] {
+            let a = crate::gen::uniform(rows, cols, nnz, seed);
+            let m = MeTcfMatrix::from_csr(&a);
+            let scan: std::collections::HashSet<u32> = a.col_idx().iter().copied().collect();
+            assert_eq!(m.distinct_cols(), scan.len(), "seed {seed}");
+        }
+        assert_eq!(MeTcfMatrix::from_csr(&sample()).distinct_cols(), 5);
+    }
+
+    #[test]
+    fn csr_arrays_match_the_source_arrays_without_sorting() {
+        for (rows, cols, nnz, seed) in
+            [(33, 40, 7, 0u64), (100, 64, 900, 3), (16, 16, 0, 4), (50, 300, 1200, 9)]
+        {
+            let a = if nnz == 0 {
+                CsrMatrix::from_triplets(rows, cols, &[]).unwrap()
+            } else {
+                crate::gen::uniform(rows, cols, nnz, seed)
+            };
+            let m = MeTcfMatrix::from_csr(&a);
+            let (row_ptr, col_idx, values) = m.csr_arrays();
+            assert_eq!(row_ptr, a.row_ptr());
+            assert_eq!(col_idx, a.col_idx());
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&values), bits(a.values()));
+        }
     }
 
     #[test]

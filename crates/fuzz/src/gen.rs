@@ -62,6 +62,7 @@ pub fn family_names() -> &'static [&'static str] {
         "dense-blocks",
         "special-values",
         "near-dup-cache",
+        "edit-script",
     ]
 }
 
@@ -93,6 +94,7 @@ pub fn generate_case(master_seed: u64, index: usize) -> FuzzCase {
         "dense-blocks" => gen_dense_blocks(&mut rng),
         "special-values" => gen_special_values(&mut rng),
         "near-dup-cache" => gen_near_dup_cache(&mut rng, master_seed),
+        "edit-script" => gen_edit_script(&mut rng),
         other => unreachable!("unknown family {other}"),
     };
     let n = N_CHOICES[rng.random_range(0..N_CHOICES.len())];
@@ -275,6 +277,36 @@ fn gen_near_dup_cache(rng: &mut StdRng, master_seed: u64) -> CsrMatrix {
         }
     }
     CsrMatrix::from_triplets(80, 80, &triplets).expect("in-bounds triplets")
+}
+
+/// Matrices shaped to stress the delta-update splice: entries piled onto
+/// the rows flanking every 16-row window boundary (15/16, 31/32, …), a
+/// deliberately empty window in the middle, and a ragged final window.
+/// The runner's delta axis then derives an edit script from the case seed,
+/// so patches hit exactly the windows whose re-based offsets are easiest
+/// to get wrong.
+fn gen_edit_script(rng: &mut StdRng) -> CsrMatrix {
+    // 3..9 windows, last one ragged more often than not.
+    let rows = rng.random_range(40usize..140);
+    let cols = DIM_CHOICES[rng.random_range(0..DIM_CHOICES.len())].max(4);
+    let empty_window = rng.random_range(0..rows.div_ceil(16));
+    let mut triplets = Vec::new();
+    for w in 0..rows.div_ceil(16) {
+        if w == empty_window {
+            continue;
+        }
+        // Boundary rows of this window (first and last), plus a couple of
+        // interior rows.
+        let base = w * 16;
+        let last = (base + 15).min(rows - 1);
+        for r in [base, last, base + rng.random_range(0usize..16).min(rows - 1 - base)] {
+            let deg = rng.random_range(1..=cols.min(10));
+            for _ in 0..deg {
+                triplets.push((r, rng.random_range(0..cols), val(rng)));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(rows, cols, &triplets).expect("in-bounds triplets")
 }
 
 #[cfg(test)]

@@ -18,6 +18,11 @@
 //!    front + exact backing store) against exact-only mode, at 1 and 4
 //!    worker threads, interleaving a near-duplicate variant between
 //!    lookups so front-slot collisions are exercised, not just possible.
+//! 5. **Delta updates** — a seed-derived edit script (inserts, updates,
+//!    deletes, deletes of absent coordinates) is applied in place via
+//!    `MeTcfMatrix::apply_delta` and checked bitwise against a full
+//!    rebuild over the edited CSR, plus the `to_csr` round-trip of the
+//!    patched format.
 //!
 //! Every step is wrapped in `catch_unwind`: a panic anywhere is a
 //! reportable failure, not a sweep abort.
@@ -32,7 +37,7 @@ use dtc_baselines::{
 use dtc_core::cache::{clear_conversion_cache, metcf_for, CachedConversion};
 use dtc_core::convert::convert_to_metcf_parallel;
 use dtc_core::{BalancedDtcKernel, DtcKernel, DtcSpmm};
-use dtc_formats::{CsrMatrix, DenseMatrix, MeTcfMatrix};
+use dtc_formats::{CsrMatrix, DenseMatrix, MatrixDelta, MeTcfMatrix};
 use dtc_sim::{simulate, Device, SimOptions};
 use dtc_verify::{verify_report, verify_trace, ProblemSpec, Severity, TraceCase};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -56,6 +61,9 @@ pub enum FailureKind {
     /// The two-tier conversion cache returned something other than the
     /// exact-only conversion.
     CacheDiverged,
+    /// In-place delta patching diverged from a full rebuild over the
+    /// edited matrix.
+    DeltaDiverged,
 }
 
 impl FailureKind {
@@ -69,6 +77,7 @@ impl FailureKind {
             FailureKind::ConversionDiverged => "conversion-diverged",
             FailureKind::RoundTripBroken => "round-trip-broken",
             FailureKind::CacheDiverged => "cache-diverged",
+            FailureKind::DeltaDiverged => "delta-diverged",
         }
     }
 }
@@ -254,7 +263,98 @@ pub fn run_case(case: &FuzzCase, device: &Device) -> CaseOutcome {
 
     // Axis 4: two-tier conversion cache vs exact-only mode.
     check_cache_modes(a, &mut out);
+
+    // Axis 5: in-place delta patching vs full rebuild.
+    check_delta(case, &mut out);
     out
+}
+
+/// The delta-update differential: a seed-derived edit script, applied in
+/// place to the case matrix's ME-TCF, must be bitwise identical to
+/// condensing the edited CSR from scratch — and the patched format must
+/// still round-trip through `to_csr`.
+fn check_delta(case: &FuzzCase, out: &mut CaseOutcome) {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    let a = &case.a;
+    let mut rng = StdRng::seed_from_u64(case.seed ^ 0x00DE_17A5);
+    let existing: Vec<(usize, usize, f32)> = a.iter().collect();
+    let mut delta = MatrixDelta::new();
+    for _ in 0..rng.random_range(1usize..24) {
+        let at_existing = !existing.is_empty() && rng.random_range(0..2) == 0;
+        let (r, c) = if at_existing {
+            let (r, c, _) = existing[rng.random_range(0..existing.len())];
+            (r, c)
+        } else {
+            (rng.random_range(0..a.rows()), rng.random_range(0..a.cols()))
+        };
+        match rng.random_range(0..4) {
+            // Deletes of absent coordinates are legal no-ops.
+            0 => delta.delete(r, c),
+            1 => delta.update(r, c, rng.random_range(-2.0f32..2.0)),
+            2 => delta.insert(r, c, 0.0), // explicit stored zero
+            _ => delta.insert(r, c, rng.random_range(-2.0f32..2.0)),
+        }
+    }
+
+    let result = guarded(|| {
+        let mut patched = MeTcfMatrix::from_csr(a);
+        let report = patched.apply_delta(&delta)?;
+        let edited = delta.apply_to_csr(a)?;
+        Ok::<_, dtc_formats::FormatError>((patched, report, edited))
+    });
+    match result {
+        Err(msg) => out.push("delta/apply", FailureKind::Panic, msg),
+        Ok(Err(e)) => out.push("delta/apply", FailureKind::ExecError, e.to_string()),
+        Ok(Ok((patched, report, edited))) => {
+            let rebuilt = MeTcfMatrix::from_csr(&edited);
+            if !metcf_bitwise_eq(&patched, &rebuilt) {
+                out.push(
+                    "delta/apply",
+                    FailureKind::DeltaDiverged,
+                    format!(
+                        "in-place patch: {} blocks / {} nnz vs rebuild {} blocks / {} nnz",
+                        patched.num_tc_blocks(),
+                        patched.nnz(),
+                        rebuilt.num_tc_blocks(),
+                        rebuilt.nnz()
+                    ),
+                );
+            }
+            if report.nnz_after != edited.nnz() {
+                out.push(
+                    "delta/report",
+                    FailureKind::DeltaDiverged,
+                    format!(
+                        "report says {} nnz, edited CSR has {}",
+                        report.nnz_after,
+                        edited.nnz()
+                    ),
+                );
+            }
+            match guarded(|| patched.to_csr()) {
+                Err(msg) => out.push("delta/round-trip", FailureKind::Panic, msg),
+                Ok(Err(e)) => {
+                    out.push("delta/round-trip", FailureKind::RoundTripBroken, e.to_string())
+                }
+                Ok(Ok(back)) => {
+                    let same = dense_equiv(&back.to_dense(), &edited.to_dense());
+                    if !same {
+                        out.push(
+                            "delta/round-trip",
+                            FailureKind::RoundTripBroken,
+                            format!(
+                                "patched to_csr diverges from edited CSR ({} nnz vs {} nnz)",
+                                back.nnz(),
+                                edited.nnz()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The cache-mode differential: the lossy front tier must be a pure
@@ -275,16 +375,20 @@ fn check_cache_modes(a: &CsrMatrix, out: &mut CaseOutcome) {
     for threads in [1usize, 4] {
         let label = format!("cache/two-tier-t{threads}");
         let result = guarded(|| {
+            // Fuzz cases are far inside the u32 offset bounds, so a
+            // conversion error here is a panic-worthy harness bug (and is
+            // caught by `guarded` as a reportable failure either way).
+            let conv = |m: &CsrMatrix| metcf_for(m).expect("fuzz case within u32 bounds");
             dtc_par::set_threads(Some(threads));
             dtc_par::set_front_tier_enabled(false);
             clear_conversion_cache();
-            let exact_a = metcf_for(a);
-            let exact_v = variant.as_ref().map(metcf_for);
+            let exact_a = conv(a);
+            let exact_v = variant.as_ref().map(&conv);
             dtc_par::set_front_tier_enabled(true);
             clear_conversion_cache();
-            let cold_a = metcf_for(a);
-            let tier_v = variant.as_ref().map(metcf_for);
-            let warm_a = metcf_for(a);
+            let cold_a = conv(a);
+            let tier_v = variant.as_ref().map(&conv);
+            let warm_a = conv(a);
             (exact_a, exact_v, cold_a, tier_v, warm_a)
         });
         dtc_par::set_front_tier_enabled(true);
@@ -326,7 +430,8 @@ fn check_conversion(a: &CsrMatrix, out: &mut CaseOutcome) {
     };
     match guarded(|| convert_to_metcf_parallel(a, 2)) {
         Err(msg) => out.push("convert/parallel", FailureKind::Panic, msg),
-        Ok(parallel) => {
+        Ok(Err(e)) => out.push("convert/parallel", FailureKind::ExecError, e.to_string()),
+        Ok(Ok(parallel)) => {
             if !metcf_bitwise_eq(&parallel, &serial) {
                 out.push(
                     "convert/parallel",

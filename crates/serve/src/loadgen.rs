@@ -16,7 +16,7 @@
 
 use crate::server::{Request, SpmmServer};
 use crate::ServeConfig;
-use dtc_core::{EngineConfig, EngineKind};
+use dtc_core::{DtcError, EngineConfig, EngineKind};
 use dtc_formats::{CsrMatrix, DenseMatrix};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -51,8 +51,14 @@ pub struct LoadPoint {
     pub completed: usize,
     /// Requests rejected at admission (queue full).
     pub rejected: usize,
-    /// Batches executed.
+    /// Batches executed successfully.
     pub batches: usize,
+    /// Batches that failed (prepare, verify-gate or execution error). The
+    /// requests they consumed count as neither completed nor rejected:
+    /// `completed + rejected + failed = requests offered`.
+    pub failed_batches: usize,
+    /// Requests consumed by failed batches.
+    pub failed: usize,
     /// Mean requests per batch.
     pub mean_batch: f64,
     /// Histogram of batch sizes: `hist[s]` = batches that coalesced
@@ -85,10 +91,17 @@ impl Default for LoadGenConfig {
 /// in milliseconds, against a throwaway server. Used to calibrate offered
 /// load as a multiple of the service rate.
 ///
+/// # Errors
+///
+/// Propagates the first request failure (prepare, verify-gate or
+/// execution error) so a sweep driver can degrade or skip the workload
+/// instead of aborting the whole run.
+///
 /// # Panics
 ///
-/// Panics if `tenants` is empty or a request fails.
-pub fn calibrate_service_ms(tenants: &[TenantSpec], cfg: &LoadGenConfig) -> f64 {
+/// Panics if `tenants` is empty (a configuration bug, not a runtime
+/// condition).
+pub fn calibrate_service_ms(tenants: &[TenantSpec], cfg: &LoadGenConfig) -> Result<f64, DtcError> {
     assert!(!tenants.is_empty(), "no tenants");
     let server = SpmmServer::new(cfg.serve.clone());
     let mut total = 0.0;
@@ -97,7 +110,7 @@ pub fn calibrate_service_ms(tenants: &[TenantSpec], cfg: &LoadGenConfig) -> f64 
         for (t, spec) in tenants.iter().enumerate() {
             let req = request_for(spec, t, cfg.seed);
             let start = Instant::now();
-            server.serve_one(req).expect("calibration request failed");
+            server.serve_one(req)?;
             // Skip the cold pass: it pays conversion, not steady-state cost.
             if rep > 0 {
                 total += start.elapsed().as_secs_f64() * 1e3;
@@ -105,7 +118,7 @@ pub fn calibrate_service_ms(tenants: &[TenantSpec], cfg: &LoadGenConfig) -> f64 
             }
         }
     }
-    total / runs as f64
+    Ok(total / runs as f64)
 }
 
 fn request_for(spec: &TenantSpec, tenant: usize, seed: u64) -> Request {
@@ -127,10 +140,16 @@ fn request_for(spec: &TenantSpec, tenant: usize, seed: u64) -> Request {
 
 /// Runs one closed-loop load point at `offered_qps` and measures it.
 ///
+/// A failed batch (prepare, verify-gate or execution error) degrades the
+/// point instead of aborting it: the batch's requests are counted in
+/// [`LoadPoint::failed`], the wall-clock time it burned still advances
+/// the virtual clock, and the sweep continues — one misconfigured tenant
+/// must not take down every other tenant's measurements.
+///
 /// # Panics
 ///
-/// Panics if `tenants` is empty, the rate is not positive, or a batch
-/// fails (the generator only offers well-formed requests).
+/// Panics if `tenants` is empty or the rate is not positive (both are
+/// configuration bugs in the caller).
 pub fn run_point(tenants: &[TenantSpec], cfg: &LoadGenConfig, offered_qps: f64) -> LoadPoint {
     assert!(!tenants.is_empty(), "no tenants");
     assert!(offered_qps > 0.0, "offered load must be positive");
@@ -153,7 +172,9 @@ pub fn run_point(tenants: &[TenantSpec], cfg: &LoadGenConfig, offered_qps: f64) 
     let mut latencies = Vec::with_capacity(cfg.requests);
     let mut batch_hist = vec![0u64; cfg.serve.max_batch];
     let mut rejected = 0usize;
+    let mut admitted = 0usize;
     let mut batches = 0usize;
+    let mut failed_batches = 0usize;
     let mut next = 0usize; // next unoffered arrival
     let mut clock = 0.0f64; // virtual now = when the server is next free
     let mut last_completion = 0.0f64;
@@ -171,14 +192,24 @@ pub fn run_point(tenants: &[TenantSpec], cfg: &LoadGenConfig, offered_qps: f64) 
             let (at, tenant) = arrivals[next];
             next += 1;
             match server.admit(request_for(&tenants[tenant], tenant, cfg.seed)) {
-                Ok(seq) => arrival_ms[seq as usize] = at,
+                Ok(seq) => {
+                    arrival_ms[seq as usize] = at;
+                    admitted += 1;
+                }
                 Err(_) => rejected += 1,
             }
         }
 
         let start = Instant::now();
         let outcome = match server.serve_next_batch() {
-            Some(r) => r.expect("load-generated batch failed"),
+            Some(Ok(outcome)) => outcome,
+            Some(Err(_)) => {
+                // The batch's requests are consumed; charge the time the
+                // failed attempt burned and keep serving other tenants.
+                clock += start.elapsed().as_secs_f64() * 1e3;
+                failed_batches += 1;
+                continue;
+            }
             None => continue, // everything since the last batch was rejected
         };
         let service_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -206,6 +237,8 @@ pub fn run_point(tenants: &[TenantSpec], cfg: &LoadGenConfig, offered_qps: f64) 
         completed,
         rejected,
         batches,
+        failed_batches,
+        failed: admitted - completed,
         mean_batch: if batches > 0 { completed as f64 / batches as f64 } else { 0.0 },
         batch_hist,
         hit_rate: if completed > 0 {
@@ -259,7 +292,9 @@ mod tests {
         let tenants = tenants();
         let cfg = LoadGenConfig { requests: 60, ..LoadGenConfig::default() };
         let point = run_point(&tenants, &cfg, 500.0);
-        assert_eq!(point.completed + point.rejected, cfg.requests);
+        assert_eq!(point.completed + point.rejected + point.failed, cfg.requests);
+        assert_eq!(point.failed, 0, "well-formed tenants must not fail");
+        assert_eq!(point.failed_batches, 0);
         assert!(point.p50_ms.is_finite());
         assert!(point.p99_ms >= point.p50_ms);
         assert_eq!(point.batch_hist.iter().sum::<u64>(), point.batches as u64);
@@ -270,7 +305,7 @@ mod tests {
     fn overload_coalesces_more_than_trickle() {
         let tenants = tenants();
         let cfg = LoadGenConfig { requests: 120, ..LoadGenConfig::default() };
-        let ms = calibrate_service_ms(&tenants, &cfg);
+        let ms = calibrate_service_ms(&tenants, &cfg).unwrap();
         let mu = 1e3 / ms; // single-request service rate, QPS
         let trickle = run_point(&tenants, &cfg, mu * 0.05);
         let overload = run_point(&tenants, &cfg, mu * 20.0);
@@ -280,6 +315,31 @@ mod tests {
             overload.mean_batch,
             trickle.mean_batch
         );
+    }
+
+    #[test]
+    fn failing_tenant_degrades_the_point_instead_of_aborting() {
+        // TCGNN refuses non-square matrices, so every batch for tenant 1
+        // fails at prepare time. The point must still complete, account
+        // for every request, and keep measuring tenant 0.
+        let mut tenants = tenants();
+        tenants.push(TenantSpec {
+            kind: EngineKind::Tcgnn,
+            config: EngineConfig::default(),
+            matrix: Arc::new(dtc_formats::gen::uniform(64, 32, 200, 77)),
+            n_cols: 8,
+        });
+        let cfg = LoadGenConfig { requests: 60, ..LoadGenConfig::default() };
+        assert!(
+            calibrate_service_ms(&tenants, &cfg).is_err(),
+            "calibration must surface the tenant's failure, not panic"
+        );
+        let point = run_point(&tenants, &cfg, 500.0);
+        assert_eq!(point.completed + point.rejected + point.failed, cfg.requests);
+        assert!(point.failed > 0, "the broken tenant's requests must be accounted as failed");
+        assert!(point.failed_batches > 0);
+        assert!(point.completed > 0, "healthy tenants must still be served");
+        assert!(point.p50_ms.is_finite());
     }
 
     #[test]

@@ -348,6 +348,32 @@ impl EnginePool {
         Some(idx)
     }
 
+    /// Drops every resident engine prepared from the matrix identified by
+    /// `material`, across all engine families, devices, and configurations.
+    /// Returns how many slots were removed.
+    ///
+    /// This is the pool's half of the delta-update invalidation contract:
+    /// after a tenant edits a matrix in place, every pooled engine keyed by
+    /// the pre-edit [`KeyMaterial`] is stale, and the front tier is purged
+    /// **by key** (inside [`remove_slot`](Self::remove_slot)'s critical
+    /// section) rather than by slot index, so a colliding resident entry
+    /// for a different key is left untouched. Entries still inside their
+    /// warmup pin are removed too — staleness overrides amortization.
+    pub fn invalidate_material(&self, material: &KeyMaterial) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        let stale: Vec<usize> = (0..inner.slots.len())
+            .filter(|&i| inner.slots[i].as_ref().is_some_and(|s| s.key.material == *material))
+            .collect();
+        for &idx in &stale {
+            Self::remove_slot(inner, idx);
+        }
+        if !stale.is_empty() {
+            crate::telemetry::pool_invalidations().add(stale.len() as u64);
+        }
+        stale.len()
+    }
+
     /// Unfiles a slot from the arena, its bucket, and the front tier.
     fn remove_slot(inner: &mut Inner, idx: usize) {
         let slot = inner.slots[idx].take().expect("removing a resident slot");
@@ -561,6 +587,42 @@ mod tests {
 
         let diags = dtc_verify::verify_pool_events("pool", &events);
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn invalidate_material_drops_every_family_but_spares_others() {
+        // One matrix pooled under two configs plus a baseline family, a
+        // second matrix resident alongside: invalidating the first matrix
+        // must drop exactly its three slots — warmup pins notwithstanding —
+        // and leave the bystander resident (still a hit).
+        let pool = EnginePool::new(PoolConfig::default());
+        let a = uniform(96, 96, 700, 9301);
+        let b = uniform(64, 64, 300, 9302);
+        let tf32 = EngineConfig::default();
+        let fp16 = EngineConfig { precision: dtc_core::Precision::Fp16, ..EngineConfig::default() };
+        pool.get_or_prepare(key_of(&a, &tf32), prepare_dtc(&a, &tf32)).unwrap();
+        pool.get_or_prepare(key_of(&a, &fp16), prepare_dtc(&a, &fp16)).unwrap();
+        let ck = PoolKey::new(EngineKind::Cusparse, &tf32, KeyMaterial::of(&a));
+        pool.get_or_prepare(ck.clone(), || dtc_core::prepare(EngineKind::Cusparse, &tf32, &a))
+            .unwrap();
+        pool.get_or_prepare(key_of(&b, &tf32), prepare_dtc(&b, &tf32)).unwrap();
+        assert_eq!(pool.len(), 4);
+
+        assert_eq!(pool.invalidate_material(&KeyMaterial::of(&a)), 3);
+        assert_eq!(pool.len(), 1);
+        // The bystander survived; every purged key is a cold miss again.
+        assert!(pool.get_or_prepare(key_of(&b, &tf32), prepare_dtc(&b, &tf32)).unwrap().hit);
+        assert!(!pool.get_or_prepare(key_of(&a, &tf32), prepare_dtc(&a, &tf32)).unwrap().hit);
+        assert!(
+            !pool
+                .get_or_prepare(ck, || dtc_core::prepare(EngineKind::Cusparse, &tf32, &a))
+                .unwrap()
+                .hit
+        );
+        // Purging again finds exactly what was re-prepared since.
+        assert_eq!(pool.invalidate_material(&KeyMaterial::of(&b)), 1);
+        assert_eq!(pool.invalidate_material(&KeyMaterial::of(&a)), 2);
+        assert!(pool.is_empty());
     }
 
     #[test]

@@ -296,6 +296,25 @@ impl SpmmServer {
         Ok(())
     }
 
+    /// Tears down every cached artifact derived from the matrix identified
+    /// by `material`, after a tenant edited that matrix in place (e.g. via
+    /// [`dtc_core::DtcSpmm::apply_delta`] or by re-submitting new
+    /// triplets). Returns the number of pooled engines dropped.
+    ///
+    /// Two layers are purged, each by key so colliding residents survive:
+    /// the engine pool (every family/device/config slot whose
+    /// [`KeyMaterial`] matches, front tier included) and the process-wide
+    /// ME-TCF conversion cache in `dtc-core` (exact bucket and lossy front
+    /// tier). Queued requests are untouched: they carry their own
+    /// `Arc<CsrMatrix>` snapshot, and a request admitted after the edit
+    /// carries post-edit key material, so it can never resolve to a
+    /// pre-edit engine once this returns.
+    pub fn invalidate_matrix(&self, material: &KeyMaterial) -> usize {
+        let dropped = self.pool.invalidate_material(material);
+        dtc_core::invalidate_conversion(material);
+        dropped
+    }
+
     /// Convenience: admit one request and serve it immediately (it may
     /// still coalesce with requests other threads queued in between).
     /// Returns this request's own result.

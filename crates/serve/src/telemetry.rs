@@ -8,6 +8,8 @@
 //! - `serve.requests.rejected` — requests refused at admission;
 //! - `serve.pool.hits` / `serve.pool.misses` — engine-pool lookups;
 //! - `serve.pool.evictions` — engines evicted by the LRU policy;
+//! - `serve.pool.invalidations` — engines dropped because their source
+//!   matrix was edited in place (delta-update staleness purge);
 //!
 //! plus the `serve.batch` span around every batched execution and the
 //! `serve.prepare` span around every engine build.
@@ -31,3 +33,4 @@ cached_counter!(requests_rejected, "serve.requests.rejected");
 cached_counter!(pool_hits, "serve.pool.hits");
 cached_counter!(pool_misses, "serve.pool.misses");
 cached_counter!(pool_evictions, "serve.pool.evictions");
+cached_counter!(pool_invalidations, "serve.pool.invalidations");

@@ -33,6 +33,9 @@ cargo run --release -q -p dtc-bench --bin cache_bench -- --smoke
 echo "== schedcheck --smoke (schedule-space model check; lock-order audit)"
 cargo run --release -q -p dtc-bench --bin schedcheck -- --smoke
 
+echo "== streaming_bench --smoke (delta bitwise identity; 5x single-window gate)"
+cargo run --release -q -p dtc-bench --bin streaming_bench -- --smoke
+
 echo "== parallel_scaling --smoke (threads 1 and 4; critical-path gate 1.5x)"
 cargo run --release -q -p dtc-bench --bin parallel_scaling -- --smoke
 
